@@ -1,0 +1,84 @@
+"""Technique-comparison benchmarks: MAHJONG vs the alternatives.
+
+The pytest-benchmark group "compare-pmd" is the related-work comparison
+in miniature: the full 3obj baseline against the MAHJONG heap, the
+allocation-type heap, and introspective (method-selective) refinement.
+Precision assertions encode the paper's positioning: only MAHJONG
+matches the baseline's type-dependent client answers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.introspective import run_introspective
+from repro.pta.context import selector_for
+from repro.pta.heapmodel import AllocationSiteAbstraction, AllocationTypeAbstraction
+from repro.pta.solver import Solver
+
+from benchmarks.conftest import pre_for, program_for
+
+SCALE = 0.4
+_METRICS = {}
+
+
+def _client_metrics(result):
+    from repro.clients import build_call_graph, check_casts, devirtualize
+
+    return (
+        build_call_graph(result).edge_count,
+        devirtualize(result).poly_call_site_count,
+        check_casts(result).may_fail_count,
+    )
+
+
+def test_full_3obj(benchmark):
+    program = program_for("pmd", SCALE)
+    benchmark.group = "compare-pmd"
+    result = benchmark.pedantic(
+        lambda: Solver(program, selector_for("3obj"),
+                       AllocationSiteAbstraction()).solve(),
+        rounds=2, iterations=1,
+    )
+    _METRICS["3obj"] = _client_metrics(result)
+
+
+def test_mahjong_3obj(benchmark):
+    program = program_for("pmd", SCALE)
+    pre = pre_for("pmd", SCALE)
+    benchmark.group = "compare-pmd"
+    result = benchmark.pedantic(
+        lambda: Solver(program, selector_for("3obj"),
+                       pre.abstraction).solve(),
+        rounds=2, iterations=1,
+    )
+    _METRICS["M-3obj"] = _client_metrics(result)
+
+
+def test_alloc_type_3obj(benchmark):
+    program = program_for("pmd", SCALE)
+    benchmark.group = "compare-pmd"
+    result = benchmark.pedantic(
+        lambda: Solver(program, selector_for("3obj"),
+                       AllocationTypeAbstraction(program)).solve(),
+        rounds=2, iterations=1,
+    )
+    _METRICS["T-3obj"] = _client_metrics(result)
+
+
+def test_introspective_3obj(benchmark):
+    program = program_for("pmd", SCALE)
+    pre = pre_for("pmd", SCALE)
+    benchmark.group = "compare-pmd"
+    run = benchmark.pedantic(
+        lambda: run_introspective(program, "3obj", threshold=8, pre=pre),
+        rounds=2, iterations=1,
+    )
+    _METRICS["I-3obj"] = _client_metrics(run.result)
+
+
+def test_positioning_shape():
+    """Runs last: only MAHJONG preserves the baseline's precision."""
+    assert set(_METRICS) == {"3obj", "M-3obj", "T-3obj", "I-3obj"}
+    assert _METRICS["M-3obj"] == _METRICS["3obj"]
+    assert _METRICS["T-3obj"] != _METRICS["3obj"]
+    # introspective loses at least call-graph precision on this workload
+    assert _METRICS["I-3obj"][0] >= _METRICS["3obj"][0]

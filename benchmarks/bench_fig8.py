@@ -1,0 +1,40 @@
+"""Figure 8 benchmark: heap-abstraction construction cost + reduction.
+
+Benchmarks the MAHJONG merging phase per profile and asserts the
+object-count reduction stays in the paper's regime (the paper reports a
+62% average over its 12 programs; the tolerance below accommodates the
+reduced benchmark scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.merging import merge_type_consistent_objects
+
+from benchmarks.conftest import pre_for
+
+PROFILES = ["luindex", "pmd", "checkstyle", "eclipse"]
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_merge_reduction(benchmark, profile):
+    pre = pre_for(profile)
+    benchmark.group = "fig8-merging"
+    result = benchmark(lambda: merge_type_consistent_objects(pre.fpg))
+    assert 0.30 < result.reduction < 0.95
+    assert result.object_count_after < result.object_count_before
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_merge_is_deterministic(benchmark, profile):
+    pre = pre_for(profile)
+    benchmark.group = "fig8-determinism"
+
+    def run_twice():
+        a = merge_type_consistent_objects(pre.fpg)
+        b = merge_type_consistent_objects(pre.fpg)
+        return a, b
+
+    a, b = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    assert a.mom == b.mom

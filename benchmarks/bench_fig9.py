@@ -1,0 +1,30 @@
+"""Figure 9 benchmark: equivalence-class distribution of checkstyle.
+
+Benchmarks the full pre-analysis → merge → histogram pipeline and
+asserts the paper's log-log shape: a heavy singleton mass plus a
+dominant class far larger than the median.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pipeline import run_pre_analysis
+
+from benchmarks.conftest import BENCH_SCALE, program_for
+
+
+def test_fig9_distribution(benchmark):
+    program = program_for("checkstyle")
+    benchmark.group = "fig9"
+
+    def pipeline():
+        pre = run_pre_analysis(program)
+        return pre.merge.class_size_histogram()
+
+    histogram = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    singletons = histogram.get(1, 0)
+    largest = max(histogram)
+    total_classes = sum(histogram.values())
+    # singletons dominate the class count ...
+    assert singletons > total_classes / 2
+    # ... while one class dominates the object count
+    assert largest > 10

@@ -1,0 +1,81 @@
+"""Section 6.1.1 benchmarks: pre-analysis phase costs.
+
+Times each phase in isolation — the context-insensitive points-to
+analysis, FPG construction, shared-automata construction, and the
+Hopcroft–Karp equivalence check throughput — mirroring the paper's
+claim that everything after ci is negligible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automata import SharedAutomata
+from repro.core.equivalence import shared_equivalent
+from repro.core.fpg import build_fpg
+from repro.pta.solver import Solver
+
+from benchmarks.conftest import pre_for, program_for
+
+PROFILES = ["luindex", "checkstyle"]
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_ci_pre_analysis(benchmark, profile):
+    program = program_for(profile)
+    benchmark.group = f"prestats-{profile}"
+    result = benchmark(lambda: Solver(program).solve())
+    assert result.object_count > 0
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_fpg_construction(benchmark, profile):
+    pre = pre_for(profile)
+    benchmark.group = f"prestats-{profile}"
+    fpg = benchmark(lambda: build_fpg(pre.result))
+    assert len(fpg) > 0
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_shared_automata_construction(benchmark, profile):
+    pre = pre_for(profile)
+    benchmark.group = f"prestats-{profile}"
+
+    def build_all():
+        automata = SharedAutomata(pre.fpg)
+        for obj in pre.fpg.objects():
+            automata.dfa_root(obj)
+        return automata
+
+    automata = benchmark(build_all)
+    assert automata.state_count() > 0
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_equivalence_check_throughput(benchmark, profile):
+    """Pairwise Hopcroft–Karp over every same-type pair of the FPG's
+    first few hundred objects (amortized near-linear per check)."""
+    pre = pre_for(profile)
+    automata = SharedAutomata(pre.fpg)
+    by_type = {}
+    for obj in sorted(pre.fpg.objects()):
+        by_type.setdefault(pre.fpg.type_of(obj), []).append(obj)
+    pairs = [
+        (objs[i], objs[j])
+        for objs in by_type.values()
+        for i in range(min(len(objs), 20))
+        for j in range(i + 1, min(len(objs), 20))
+    ]
+    for obj in pre.fpg.objects():
+        automata.dfa_root(obj)
+
+    benchmark.group = f"prestats-{profile}"
+
+    def check_all():
+        return sum(
+            1 for a, b in pairs
+            if shared_equivalent(automata.dfa_root(a), automata.dfa_root(b))
+        )
+
+    equivalent_pairs = benchmark(check_all)
+    assert 0 <= equivalent_pairs <= len(pairs)

@@ -1,0 +1,36 @@
+"""Table 1 benchmark: equivalence-class reporting for checkstyle.
+
+Benchmarks `describe_classes` and asserts the paper's qualitative rows:
+a dominant string-builder class storing char arrays, same-type classes
+split by stored element type, and a null-field class kept apart.
+"""
+
+from __future__ import annotations
+
+from repro.core.heap_modeler import describe_classes
+
+from benchmarks.conftest import pre_for
+
+
+def test_table1_report(benchmark):
+    pre = pre_for("checkstyle")
+    benchmark.group = "table1"
+    reports = benchmark(lambda: describe_classes(pre.fpg, pre.merge))
+
+    by_type = {}
+    for report in reports:
+        by_type.setdefault(report.type_name, []).append(report)
+
+    # Row 1 analogue: every StringBuilder merges into one class storing
+    # only char arrays.
+    (sb_row,) = by_type["StringBuilder"]
+    assert sb_row.remark == "CharArray"
+    assert sb_row.size == sb_row.total_objects_of_type
+
+    # Rows 2/4/5 analogue: ListNode (same type) splits by element type.
+    node_rows = by_type.get("ListNode", [])
+    remarks = {r.remark for r in node_rows}
+    assert len([r for r in remarks if "Elem" in r]) >= 2
+
+    # Row 6 analogue: the never-initialized members sit alone.
+    assert any(r.remark == "null fields" for r in reports)

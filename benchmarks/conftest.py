@@ -1,0 +1,39 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Benchmarks run at reduced workload scale so that pytest-benchmark's
+repetition stays affordable; the full-scale numbers (with the timeout
+tiers) are produced by ``python -m repro.bench all`` and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pipeline import run_pre_analysis
+from repro.workloads import load_profile
+
+#: Scale used across the benchmark suite.
+BENCH_SCALE = 0.3
+
+_PROGRAM_CACHE = {}
+_PRE_CACHE = {}
+
+
+def program_for(profile: str, scale: float = BENCH_SCALE):
+    key = (profile, scale)
+    if key not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE[key] = load_profile(profile, scale)
+    return _PROGRAM_CACHE[key]
+
+
+def pre_for(profile: str, scale: float = BENCH_SCALE):
+    key = (profile, scale)
+    if key not in _PRE_CACHE:
+        _PRE_CACHE[key] = run_pre_analysis(program_for(profile, scale))
+    return _PRE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE

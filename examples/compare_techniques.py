@@ -1,0 +1,55 @@
+"""Comparing the ways to make 3-object-sensitive analysis scale.
+
+Runs, on one synthetic workload: the full 3obj baseline, MAHJONG
+(M-3obj), the naive allocation-type heap (T-3obj), and introspective
+method-selective refinement (I-3obj) — the related-work landscape the
+paper positions itself in.  Then diffs each against the baseline to
+show *where* the cheaper techniques lose precision.
+
+Run: ``python examples/compare_techniques.py [profile] [scale]``
+"""
+
+import sys
+
+from repro.analysis import run_analysis, run_introspective, run_pre_analysis
+from repro.diffing import diff_results
+from repro.workloads import load_profile
+
+
+def main() -> None:
+    profile = sys.argv[1] if len(sys.argv) > 1 else "pmd"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    program = load_profile(profile, scale)
+    print(f"workload: {profile} at scale {scale}: {program.stats()}\n")
+
+    pre = run_pre_analysis(program)
+    baseline = run_analysis(program, "3obj", timeout_seconds=300)
+
+    contenders = {
+        "M-3obj": run_analysis(program, "M-3obj", timeout_seconds=300,
+                               pre=pre),
+        "T-3obj": run_analysis(program, "T-3obj", timeout_seconds=300),
+        "I-3obj": run_introspective(program, "3obj", threshold=8, pre=pre),
+    }
+
+    base_metrics = baseline.metrics()
+    print(f"{'technique':<8} {'time':>9}  cg-edges  poly  may-fail")
+    print(f"{'3obj':<8} {base_metrics['main_seconds']:>8.2f}s  "
+          f"{base_metrics['call_graph_edges']:>8}  "
+          f"{base_metrics['poly_call_sites']:>4}  "
+          f"{base_metrics['may_fail_casts']:>8}")
+    for name, run in contenders.items():
+        metrics = run.metrics()
+        print(f"{name:<8} {metrics['main_seconds']:>8.2f}s  "
+              f"{metrics['call_graph_edges']:>8}  "
+              f"{metrics['poly_call_sites']:>4}  "
+              f"{metrics['may_fail_casts']:>8}")
+
+    print("\nprecision diffs against 3obj:")
+    for name, run in contenders.items():
+        diff = diff_results(baseline.result, run.result)
+        print(f"  {name}: {diff.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Heap partitioning of a container-heavy program.
+
+Builds a program full of homogeneous containers (the shapes behind the
+paper's Table 1 and Figure 9), runs the MAHJONG pre-analysis, and
+prints the equivalence-class report plus the class-size histogram —
+showing type-consistent containers collapsing while heterogeneous ones
+stay apart.
+
+Run: ``python examples/container_library.py``
+"""
+
+from repro.analysis import run_pre_analysis
+from repro.core.heap_modeler import describe_classes
+from repro.ir import ProgramBuilder
+
+
+def build_container_program():
+    """A hand-written container library exercised three ways."""
+    b = ProgramBuilder()
+    b.add_class("Item")
+    with b.method("Item", "use") as m:
+        m.ret("this")
+    for name in ("Apple", "Pear", "Coin"):
+        b.add_class(name, "Item")
+        with b.method(name, "use") as m:
+            m.ret("this")
+
+    b.add_array_class("Slot", "Item")
+    b.add_class("Crate")
+    b.add_field("Crate", "slot", "Slot")
+    with b.method("Crate", "take") as m:
+        s = m.load("this", "slot")
+        r = m.load(s, "elem")
+        m.ret(r)
+
+    b.add_class("Warehouse")
+    # six crates of apples, four of pears, two mixed, one never filled
+    plans = [("Apple", 6), ("Pear", 4)]
+    drivers = []
+    for fruit, crates in plans:
+        for i in range(crates):
+            method = f"stock{fruit}{i}"
+            with b.method("Warehouse", method, static=True) as m:
+                crate = m.new("Crate")
+                slot = m.new("Slot")
+                m.store(crate, "slot", slot)
+                item = m.new(fruit)
+                m.store(slot, "elem", item)
+                got = m.invoke(crate, "take", target="got")
+                fresh = m.cast(fruit, got)
+                m.invoke(fresh, "use", target=m.fresh_var("u"))
+                m.ret(crate)
+            drivers.append(method)
+    with b.method("Warehouse", "stockMixed", static=True) as m:
+        crate = m.new("Crate")
+        slot = m.new("Slot")
+        m.store(crate, "slot", slot)
+        apple = m.new("Apple")
+        coin = m.new("Coin")
+        m.store(slot, "elem", apple)
+        m.store(slot, "elem", coin)
+        m.ret(crate)
+    drivers.append("stockMixed")
+    with b.method("Warehouse", "stockEmpty", static=True) as m:
+        crate = m.new("Crate")
+        m.ret(crate)
+    drivers.append("stockEmpty")
+
+    with b.main() as m:
+        for driver in drivers:
+            m.static_invoke("Warehouse", driver, target=m.fresh_var("d"))
+    return b.build()
+
+
+def main() -> None:
+    program = build_container_program()
+    print(f"container program: {program.stats()}\n")
+    pre = run_pre_analysis(program)
+    merge = pre.merge
+
+    print("equivalence classes (rank / type / size / what they store):")
+    for report in describe_classes(pre.fpg, merge):
+        print(f"  {report}")
+
+    print("\nclass-size histogram (Figure 9's shape):")
+    for size, count in sorted(merge.class_size_histogram().items()):
+        print(f"  size {size:>3}: {'#' * count} ({count})")
+
+    print(f"\nheap reduced {merge.object_count_before} -> "
+          f"{merge.object_count_after} objects "
+          f"({100 * merge.reduction:.0f}%)")
+    print("note: the apple crates merged with each other but not with "
+          "pear crates, the mixed\ncrate merged with nothing "
+          "(Condition 2), and the empty crate's null slot kept it apart.")
+
+
+if __name__ == "__main__":
+    main()

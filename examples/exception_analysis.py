@@ -1,0 +1,81 @@
+"""Escaping-exception analysis — a fourth type-dependent client.
+
+Builds a small service with workers that throw different failure kinds,
+some handled and some not, then shows (a) which exception classes may
+escape ``main`` under each analysis and (b) that the MAHJONG heap
+abstraction preserves the answer while merging the throwers.
+
+Run: ``python examples/exception_analysis.py``
+"""
+
+from repro import parse_program
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.clients import analyze_exceptions
+
+SERVICE = """
+class Failure { }
+class Timeout extends Failure { }
+class BadInput extends Failure { }
+
+class Fetcher {
+  method fetch() {
+    t = new Timeout();
+    throw t;
+  }
+}
+class Validator {
+  method check(x) {
+    b = new BadInput();
+    throw b;
+    return x;
+  }
+}
+class Service {
+  method handle(req) {
+    f = new Fetcher();
+    data = f.fetch();
+    v = new Validator();
+    ok = v.check(req);
+    timeouts = catch (Timeout);   // handled here (soundly: may still escape)
+    return ok;
+  }
+}
+
+main {
+  s1 = new Service();
+  s2 = new Service();
+  req = new Object();
+  r1 = s1.handle(req);
+  r2 = s2.handle(req);
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SERVICE)
+    pre = run_pre_analysis(program)
+
+    merged_services = [
+        sorted(cls) for cls in pre.merge.classes if len(cls) > 1
+    ]
+    print(f"MAHJONG merged classes (sites): {merged_services}\n")
+
+    print(f"{'analysis':<8} {'escaping exception classes':<40}")
+    for config in ("ci", "2obj", "M-2obj"):
+        run = run_analysis(program, config,
+                           pre=pre if config.startswith("M-") else None)
+        report = analyze_exceptions(run.result)
+        print(f"{config:<8} {', '.join(sorted(report.escaping_classes)):<40}")
+
+    report = analyze_exceptions(run_analysis(program, "M-2obj", pre=pre).result)
+    print("\nper-method exceptional exits (M-2obj):")
+    for method, classes in sorted(report.per_method.items()):
+        print(f"  {method:<20} may throw {', '.join(sorted(classes))}")
+
+    print("\nEscape analysis depends only on the *types* reaching the "
+          "exceptional exits, so it is\na type-dependent client in the "
+          "paper's sense — and MAHJONG preserves it exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: MAHJONG on the paper's Figure 1 program.
+
+Parses the motivating example, runs the pre-analysis, shows which
+allocation sites MAHJONG merges, and compares the three heap
+abstractions on the three type-dependent clients.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import parse_program, run_analysis
+from repro.analysis import run_pre_analysis
+from repro.clients import check_casts, devirtualize
+
+FIGURE1 = """
+class A { field f: A; method foo() { return this; } }
+class B extends A { method foo() { return this; } }
+class C extends A { method foo() { return this; } }
+
+main {
+  x = new A();            // o1
+  y = new A();            // o2
+  z = new A();            // o3
+  xf = new B(); x.f = xf; // o4
+  yf = new C(); y.f = yf; // o5
+  zf = new C(); z.f = zf; // o6
+  a = z.f;
+  a.foo();                // devirtualizable?
+  c = (C) a;              // may this cast fail?
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(FIGURE1)
+    print(f"parsed Figure 1: {program.stats()}\n")
+
+    # Phase 1-3: pre-analysis, field points-to graph, MAHJONG merging.
+    pre = run_pre_analysis(program)
+    print("MAHJONG equivalence classes (allocation sites):")
+    for cls in sorted(map(sorted, pre.merge.classes)):
+        types = {pre.fpg.type_of(o) for o in cls}
+        print(f"  sites {cls} : {', '.join(sorted(types))}")
+    print(f"objects: {pre.merge.object_count_before} -> "
+          f"{pre.merge.object_count_after}\n")
+
+    # Phase 4: the main analysis, under each heap abstraction.
+    print(f"{'analysis':<10} {'a.foo() devirtualized?':<24} "
+          f"{'cast (C) a safe?':<18} abstract objects")
+    for config in ("ci", "M-ci", "T-ci"):
+        run = run_analysis(program, config,
+                           pre=pre if config.startswith("M-") else None)
+        devirt = devirtualize(run.result)
+        casts = check_casts(run.result)
+        mono = devirt.poly_call_site_count == 0
+        safe = casts.may_fail_count == 0
+        print(f"{config:<10} {str(mono):<24} {str(safe):<18} "
+              f"{run.result.object_count}")
+
+    print("\nThe paper's point: MAHJONG (M-) keeps the allocation-site "
+          "precision for type-dependent\nclients while the naive "
+          "allocation-type abstraction (T-) loses it.")
+
+
+if __name__ == "__main__":
+    main()

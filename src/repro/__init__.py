@@ -1,0 +1,47 @@
+"""repro — a reproduction of MAHJONG (PLDI 2017).
+
+MAHJONG is a heap abstraction for points-to analysis that merges
+allocation-site objects whose field points-to graphs denote *equivalent
+sequential automata*, i.e., type-consistent objects.  This package
+contains everything needed to reproduce the paper on laptop-scale
+workloads:
+
+* :mod:`repro.ir` / :mod:`repro.frontend` — a mini-Java IR and language;
+* :mod:`repro.pta` — a context-sensitive Andersen-style points-to solver
+  (context-insensitive, k-call-site, k-object, k-type);
+* :mod:`repro.core` — the MAHJONG heap abstraction itself (FPG, automata,
+  Hopcroft–Karp equivalence, merging);
+* :mod:`repro.clients` — the type-dependent clients (call graph,
+  devirtualization, may-fail casting);
+* :mod:`repro.analysis` — the end-to-end pipeline (pre-analysis → merge →
+  main analysis) with the paper's named configurations;
+* :mod:`repro.workloads` — deterministic synthetic benchmark programs;
+* :mod:`repro.bench` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro import parse_program, run_analysis
+
+    program = parse_program(source_text)
+    result = run_analysis(program, "M-2obj")
+    print(result.metrics())
+"""
+
+from repro.frontend import parse_program
+from repro.ir import ProgramBuilder
+
+__version__ = "1.0.0"
+
+__all__ = ["parse_program", "ProgramBuilder", "run_analysis", "__version__"]
+
+
+def run_analysis(program, analysis="ci", **kwargs):
+    """Run a named points-to analysis on ``program``.
+
+    Thin convenience wrapper around
+    :func:`repro.analysis.pipeline.run_analysis`; imported lazily so that
+    ``import repro`` stays cheap.
+    """
+    from repro.analysis.pipeline import run_analysis as _run
+
+    return _run(program, analysis, **kwargs)

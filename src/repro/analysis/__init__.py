@@ -1,0 +1,28 @@
+"""End-to-end analysis orchestration (pre-analysis → MAHJONG → main)."""
+
+from repro.analysis.config import (
+    AnalysisConfig,
+    PAPER_BASELINES,
+    PAPER_CONFIGS,
+    parse_config,
+)
+from repro.analysis.introspective import refinement_set, run_introspective
+from repro.analysis.pipeline import (
+    AnalysisRun,
+    PreAnalysisArtifacts,
+    run_analysis,
+    run_pre_analysis,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "parse_config",
+    "PAPER_BASELINES",
+    "PAPER_CONFIGS",
+    "AnalysisRun",
+    "PreAnalysisArtifacts",
+    "run_analysis",
+    "run_pre_analysis",
+    "run_introspective",
+    "refinement_set",
+]

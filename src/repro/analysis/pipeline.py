@@ -1,0 +1,188 @@
+"""End-to-end analysis pipeline (Figure 5 of the paper).
+
+For a MAHJONG configuration (``M-*``) the pipeline is:
+
+1. **pre-analysis** — context-insensitive, allocation-site-based
+   Andersen's;
+2. **FPG** — build the field points-to graph from the pre-analysis;
+3. **MAHJONG** — merge type-consistent objects (Algorithm 1) into the
+   merged object map;
+4. **main analysis** — the requested context-sensitive analysis with the
+   MAHJONG heap abstraction.
+
+Non-MAHJONG configurations skip steps 1–3 (``T-*`` uses the allocation-
+type abstraction, bare names use the allocation-site abstraction).
+
+:func:`run_analysis` returns an :class:`AnalysisRun` carrying the result,
+the client metrics, and the per-phase timing breakdown used by the
+Table 2 harness.  Timeouts reproduce the paper's "unscalable within
+budget" rows: the run is marked ``timed_out`` instead of raising.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.config import AnalysisConfig, parse_config
+from repro.clients import (
+    analyze_exceptions,
+    build_call_graph,
+    check_casts,
+    devirtualize,
+)
+from repro.core.fpg import FieldPointsToGraph, build_fpg
+from repro.core.heap_modeler import build_heap_abstraction
+from repro.core.merging import MergeOptions, MergeResult, merge_type_consistent_objects
+from repro.ir.program import Program
+from repro.pta.context import selector_for
+from repro.pta.heapmodel import (
+    AllocationSiteAbstraction,
+    AllocationTypeAbstraction,
+    HeapModel,
+    MahjongAbstraction,
+)
+from repro.pta.results import PointsToResult
+from repro.pta.solver import AnalysisTimeout, Solver
+
+__all__ = ["AnalysisRun", "PreAnalysisArtifacts", "run_analysis", "run_pre_analysis"]
+
+
+@dataclass
+class PreAnalysisArtifacts:
+    """Everything the pre-analysis phase produces (reusable across the
+    main analyses of one program, as in the paper's Table 2 where the
+    pre-analysis cost is shared)."""
+
+    result: PointsToResult
+    fpg: FieldPointsToGraph
+    merge: MergeResult
+    abstraction: MahjongAbstraction
+    ci_seconds: float
+    fpg_seconds: float
+    mahjong_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ci_seconds + self.fpg_seconds + self.mahjong_seconds
+
+
+@dataclass
+class AnalysisRun:
+    """Outcome of one configuration on one program."""
+
+    config: AnalysisConfig
+    result: Optional[PointsToResult]
+    main_seconds: float
+    timed_out: bool = False
+    pre: Optional[PreAnalysisArtifacts] = None
+    _metrics: Optional[Dict[str, object]] = field(default=None, repr=False)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.result is not None
+
+    def metrics(self) -> Dict[str, object]:
+        """The paper's Table 2 row: time plus the three client metrics.
+
+        Timed-out runs report only the timing/flag fields.
+        """
+        if self._metrics is not None:
+            return self._metrics
+        metrics: Dict[str, object] = {
+            "analysis": self.config.name,
+            "main_seconds": round(self.main_seconds, 4),
+            "timed_out": self.timed_out,
+        }
+        if self.pre is not None:
+            metrics["pre_seconds"] = round(self.pre.total_seconds, 4)
+        if self.result is not None:
+            call_graph = build_call_graph(self.result)
+            devirt = devirtualize(call_graph)
+            casts = check_casts(self.result)
+            metrics.update(
+                {
+                    "call_graph_edges": call_graph.edge_count,
+                    "reachable_methods": call_graph.reachable_method_count,
+                    "poly_call_sites": devirt.poly_call_site_count,
+                    "may_fail_casts": casts.may_fail_count,
+                    "abstract_objects": self.result.object_count,
+                    "method_contexts": self.result.total_context_count(),
+                    "escaping_exceptions": analyze_exceptions(
+                        self.result
+                    ).escaping_class_count,
+                }
+            )
+        self._metrics = metrics
+        return metrics
+
+
+def run_pre_analysis(
+    program: Program,
+    merge_options: Optional[MergeOptions] = None,
+    timeout_seconds: Optional[float] = None,
+) -> PreAnalysisArtifacts:
+    """Phases 1–3: ci points-to analysis, FPG construction, MAHJONG."""
+    t0 = time.monotonic()
+    pre_result = Solver(program, selector_for("ci"),
+                        AllocationSiteAbstraction(),
+                        timeout_seconds=timeout_seconds).solve()
+    t1 = time.monotonic()
+    fpg = build_fpg(pre_result)
+    t2 = time.monotonic()
+    merge = merge_type_consistent_objects(fpg, merge_options)
+    t3 = time.monotonic()
+    return PreAnalysisArtifacts(
+        result=pre_result,
+        fpg=fpg,
+        merge=merge,
+        abstraction=build_heap_abstraction(merge),
+        ci_seconds=t1 - t0,
+        fpg_seconds=t2 - t1,
+        mahjong_seconds=t3 - t2,
+    )
+
+
+def run_analysis(
+    program: Program,
+    analysis: str = "ci",
+    timeout_seconds: Optional[float] = None,
+    pre: Optional[PreAnalysisArtifacts] = None,
+    merge_options: Optional[MergeOptions] = None,
+) -> AnalysisRun:
+    """Run a named analysis configuration end to end.
+
+    ``pre`` lets callers share one pre-analysis across several ``M-*``
+    configurations of the same program (how Table 2 accounts costs).
+    ``timeout_seconds`` bounds the *main* analysis; on expiry the run is
+    returned with ``timed_out=True`` rather than raising.
+    """
+    config = parse_config(analysis)
+    heap_model: HeapModel
+    if config.heap == "mahjong":
+        if pre is None:
+            pre = run_pre_analysis(program, merge_options)
+        heap_model = pre.abstraction
+    elif config.heap == "alloc-type":
+        heap_model = AllocationTypeAbstraction(program)
+    else:
+        heap_model = AllocationSiteAbstraction()
+
+    selector = selector_for(config.sensitivity)
+    solver = Solver(program, selector, heap_model,
+                    timeout_seconds=timeout_seconds)
+    start = time.monotonic()
+    try:
+        result: Optional[PointsToResult] = solver.solve()
+        timed_out = False
+    except AnalysisTimeout:
+        result = None
+        timed_out = True
+    return AnalysisRun(
+        config=config,
+        result=result,
+        main_seconds=time.monotonic() - start,
+        timed_out=timed_out,
+        pre=pre,
+    )

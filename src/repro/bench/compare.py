@@ -1,0 +1,94 @@
+"""Scalability-technique comparison: MAHJONG vs its alternatives.
+
+The paper's positioning (Sections 1–2 and related work): for
+type-dependent clients, MAHJONG beats both the naive allocation-type
+abstraction (fast, imprecise) and method-selective refinement
+(introspective analysis — fast, loses precision where it stops
+refining), while staying close to the full analysis's precision.
+
+This harness runs, on one program: the full baseline ``kobj``, M-kobj
+(MAHJONG), T-kobj (allocation-type), and I-kobj (introspective, at a
+configurable threshold), and tabulates time + the three client metrics.
+
+Run with ``python -m repro.bench compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.introspective import run_introspective
+from repro.bench.reporting import format_seconds, render_table
+from repro.bench.runners import ProgramUnderBench
+
+__all__ = ["CompareResult", "run_compare", "main"]
+
+DEFAULT_BUDGET_SECONDS = 60.0
+
+
+@dataclass
+class CompareResult:
+    profile: str
+    budget: float
+    #: technique -> metrics
+    runs: Dict[str, Dict[str, object]]
+
+    def render(self) -> str:
+        rows = []
+        for technique, metrics in self.runs.items():
+            rows.append((
+                technique,
+                format_seconds(metrics.get("main_seconds"),
+                               bool(metrics.get("timed_out")), self.budget),
+                metrics.get("call_graph_edges", "-"),
+                metrics.get("poly_call_sites", "-"),
+                metrics.get("may_fail_casts", "-"),
+                metrics.get("abstract_objects", "-"),
+            ))
+        return render_table(
+            ("technique", "time", "cg-edges", "poly", "may-fail",
+             "objects"),
+            rows,
+            title=(f"Scalability techniques on {self.profile} "
+                   f"(baseline {self._baseline()})"),
+        )
+
+    def _baseline(self) -> str:
+        for name in self.runs:
+            if "-" not in name:
+                return name
+        return "?"
+
+
+def run_compare(profile: str = "pmd", baseline: str = "3obj",
+                threshold: int = 8, scale: float = 1.0,
+                budget: float = DEFAULT_BUDGET_SECONDS) -> CompareResult:
+    under = ProgramUnderBench.load(profile, scale)
+    runs: Dict[str, Dict[str, object]] = {}
+    for config in (baseline, f"M-{baseline}", f"T-{baseline}"):
+        runs[config] = under.run(config, budget).metrics()
+    intro = run_introspective(under.program, baseline, threshold=threshold,
+                              timeout_seconds=budget, pre=under.pre)
+    runs[f"I-{baseline}"] = intro.metrics()
+    return CompareResult(profile=profile, budget=budget, runs=runs)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", type=str, default="pmd")
+    parser.add_argument("--baseline", type=str, default="3obj")
+    parser.add_argument("--threshold", type=int, default=8)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET_SECONDS)
+    args = parser.parse_args(argv)
+    result = run_compare(args.profile, args.baseline, args.threshold,
+                         args.scale, args.budget)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Figure 8 harness: abstract objects, allocation-site vs MAHJONG.
+
+The paper's Figure 8 plots, per program, the number of abstract objects
+created by the allocation-site abstraction against the number MAHJONG
+creates (an average reduction of 62% over the 12 programs).  This
+harness reproduces the series and the average reduction.
+
+Run with ``python -m repro.bench fig8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.bench.reporting import render_table
+from repro.bench.runners import ProgramUnderBench
+from repro.workloads import PROFILE_NAMES
+
+__all__ = ["Fig8Result", "run_fig8", "main"]
+
+
+@dataclass
+class Fig8Result:
+    #: program -> (allocation-site objects, MAHJONG objects)
+    series: Dict[str, tuple]
+
+    @property
+    def average_reduction(self) -> float:
+        reductions = [
+            1.0 - after / before
+            for before, after in self.series.values()
+            if before
+        ]
+        return sum(reductions) / len(reductions) if reductions else 0.0
+
+    def render(self) -> str:
+        rows = [
+            (name, before, after, f"{100 * (1 - after / before):.0f}%")
+            for name, (before, after) in self.series.items()
+        ]
+        rows.append((
+            "average", "", "", f"{100 * self.average_reduction:.0f}%",
+        ))
+        return render_table(
+            ("program", "alloc-site objects", "MAHJONG objects", "reduction"),
+            rows,
+            title="Figure 8: number of abstract objects per heap abstraction",
+        )
+
+
+def run_fig8(profiles: Optional[Sequence[str]] = None,
+             scale: float = 1.0) -> Fig8Result:
+    profiles = list(profiles) if profiles else list(PROFILE_NAMES)
+    series: Dict[str, tuple] = {}
+    for name in profiles:
+        under = ProgramUnderBench.load(name, scale)
+        merge = under.pre.merge
+        series[name] = (merge.object_count_before, merge.object_count_after)
+    return Fig8Result(series)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--profiles", type=str, default="")
+    args = parser.parse_args(argv)
+    profiles = [p for p in args.profiles.split(",") if p] or None
+    print(run_fig8(profiles, args.scale).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

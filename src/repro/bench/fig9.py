@@ -1,0 +1,73 @@
+"""Figure 9 harness: equivalence-class size distribution (checkstyle).
+
+The paper's Figure 9 is a log-log scatter of equivalence-class size vs
+number of classes of that size for checkstyle: a large mass of
+singletons (3769 classes of size 1) and one dominant class (the 1303
+StringBuilders).  This harness reproduces the histogram for any profile.
+
+Run with ``python -m repro.bench fig9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.reporting import render_table
+from repro.bench.runners import ProgramUnderBench
+
+__all__ = ["Fig9Result", "run_fig9", "main"]
+
+
+@dataclass
+class Fig9Result:
+    profile: str
+    #: class size -> number of classes of that size
+    histogram: Dict[int, int]
+
+    @property
+    def points(self) -> List[Tuple[int, int]]:
+        """(size, count) points sorted by size — the figure's series."""
+        return sorted(self.histogram.items())
+
+    @property
+    def singleton_classes(self) -> int:
+        return self.histogram.get(1, 0)
+
+    @property
+    def largest_class_size(self) -> int:
+        return max(self.histogram) if self.histogram else 0
+
+    def render(self) -> str:
+        rows = [(size, count) for size, count in self.points]
+        table = render_table(
+            ("class size", "classes"), rows,
+            title=(
+                f"Figure 9: equivalence-class size distribution ({self.profile})"
+            ),
+        )
+        summary = (
+            f"\nsingleton classes: {self.singleton_classes}; "
+            f"largest class: {self.largest_class_size} objects"
+        )
+        return table + summary
+
+
+def run_fig9(profile: str = "checkstyle", scale: float = 1.0) -> Fig9Result:
+    under = ProgramUnderBench.load(profile, scale)
+    return Fig9Result(profile, under.pre.merge.class_size_histogram())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", type=str, default="checkstyle")
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args(argv)
+    print(run_fig9(args.profile, args.scale).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Consolidated report writer: every harness, one directory.
+
+``python -m repro.bench report --out bench_results`` runs all the
+harnesses and writes, per harness, both the human-readable text table
+and (where a JSON schema exists in :mod:`repro.export`) a ``.json``
+twin — the artifact bundle EXPERIMENTS.md points at.
+
+Scale/budget pass through to the individual harnesses so a quick
+reduced-scale bundle can be produced for smoke-testing
+(``--scale 0.2 --budget 2``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.bench.fig8 import run_fig8
+from repro.bench.fig9 import run_fig9
+from repro.bench.motivating import run_motivating
+from repro.bench.prestats import run_prestats
+from repro.bench.runners import DEFAULT_BUDGET_SECONDS
+from repro.bench.table1 import run_table1
+from repro.bench.table2 import run_table2
+from repro.export import dump_json, fig8_to_dict, fig9_to_dict, table2_to_dict
+
+__all__ = ["write_report", "main"]
+
+
+def _write_text(directory: str, name: str, text: str) -> None:
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip("\n") + "\n")
+
+
+def write_report(directory: str, scale: float = 1.0,
+                 budget: float = DEFAULT_BUDGET_SECONDS,
+                 profiles: Optional[Sequence[str]] = None,
+                 verbose: bool = False) -> None:
+    """Run the harness suite and write text + JSON artifacts."""
+    os.makedirs(directory, exist_ok=True)
+
+    def note(name: str) -> None:
+        if verbose:
+            print(f"[report] {name}")
+
+    note("motivating")
+    motivating = run_motivating(scale=scale, budget=max(budget, 5 * budget))
+    lines = [f"{config}: {metrics}" for config, metrics in motivating.runs.items()]
+    _write_text(directory, "motivating.txt",
+                "\n".join(lines) + f"\nshape_holds: {motivating.shape_holds()}")
+
+    note("fig8")
+    fig8 = run_fig8(profiles, scale=scale)
+    _write_text(directory, "fig8.txt", fig8.render())
+    dump_json(fig8_to_dict(fig8), os.path.join(directory, "fig8.json"))
+
+    note("fig9")
+    fig9 = run_fig9(scale=scale)
+    _write_text(directory, "fig9.txt", fig9.render())
+    dump_json(fig9_to_dict(fig9), os.path.join(directory, "fig9.json"))
+
+    note("table1")
+    table1 = run_table1(scale=scale)
+    _write_text(directory, "table1.txt", table1.render())
+
+    note("prestats")
+    prestats = run_prestats(profiles, scale=scale)
+    _write_text(directory, "prestats.txt", prestats.render())
+
+    note("table2")
+    table2 = run_table2(profiles=profiles, budget=budget, scale=scale)
+    _write_text(directory, "table2.txt", table2.render())
+    dump_json(table2_to_dict(table2), os.path.join(directory, "table2.json"))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=str, default="bench_results")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET_SECONDS)
+    parser.add_argument("--profiles", type=str, default="")
+    args = parser.parse_args(argv)
+    profiles = [p for p in args.profiles.split(",") if p] or None
+    write_report(args.out, args.scale, args.budget, profiles, verbose=True)
+    print(f"report written to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Plain-text and Markdown table rendering for the bench harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_markdown_table", "format_seconds"]
+
+
+def format_seconds(seconds: Optional[float], timed_out: bool = False,
+                   budget: Optional[float] = None) -> str:
+    """Render a timing cell; timeouts render like the paper's dashes."""
+    if timed_out:
+        budget_text = f">{budget:.0f}s" if budget is not None else "timeout"
+        return budget_text
+    if seconds is None:
+        return "-"
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.1f}s"
+    return f"{seconds * 1000:.0f}ms"
+
+
+def _stringify(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """A fixed-width text table (first column left-aligned, rest right)."""
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cells[i].rjust(widths[i]) for i in range(1, len(cells))]
+        return "  ".join(parts)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence[object]]) -> str:
+    """A GitHub-flavoured Markdown table (for EXPERIMENTS.md)."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(c) for c in row) + " |")
+    return "\n".join(lines)

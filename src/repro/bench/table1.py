@@ -1,0 +1,63 @@
+"""Table 1 harness: representative equivalence classes (checkstyle).
+
+The paper's Table 1 lists notable equivalence classes found in
+checkstyle: the dominant StringBuilder class (all storing char[]),
+Object[] classes split by stored element type, and an ASTPair-like class
+whose never-initialized member sits alone ("null fields").  This harness
+reproduces the ranked class report for any profile.
+
+Run with ``python -m repro.bench table1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.reporting import render_table
+from repro.bench.runners import ProgramUnderBench
+from repro.core.heap_modeler import EquivalenceClassReport, describe_classes
+
+__all__ = ["Table1Result", "run_table1", "main"]
+
+
+@dataclass
+class Table1Result:
+    profile: str
+    reports: List[EquivalenceClassReport]
+
+    def find_by_remark(self, remark_substring: str) -> List[EquivalenceClassReport]:
+        return [r for r in self.reports if remark_substring in r.remark]
+
+    def render(self, limit: int = 25) -> str:
+        rows = [
+            (r.rank, r.type_name, r.size, r.total_objects_of_type, r.remark)
+            for r in self.reports[:limit]
+        ]
+        return render_table(
+            ("rank", "type", "class size", "objects of type", "stores"),
+            rows,
+            title=f"Table 1: notable equivalence classes ({self.profile})",
+        )
+
+
+def run_table1(profile: str = "checkstyle", scale: float = 1.0) -> Table1Result:
+    under = ProgramUnderBench.load(profile, scale)
+    reports = describe_classes(under.pre.fpg, under.pre.merge)
+    return Table1Result(profile, reports)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", type=str, default="checkstyle")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--limit", type=int, default=25)
+    args = parser.parse_args(argv)
+    print(run_table1(args.profile, args.scale).render(args.limit))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Table 2 harness: efficiency and precision of the main analyses.
+
+Regenerates the paper's main table: for each program, the pre-analysis
+time breakdown (ci / FPG / MAHJONG) and, per analysis kA ∈ {2cs, 2obj,
+3obj, 2type, 3type}, the analysis time, the speedup of M-kA over kA, and
+the three client metrics (#may-fail casts, #poly call sites, #call graph
+edges) of both.  As in the paper, speedups ignore the (shared, small)
+pre-analysis time, and timeouts reproduce "unscalable within budget".
+
+Run from the command line::
+
+    python -m repro.bench table2 [--budget 12] [--scale 1.0] \
+        [--profiles pmd,antlr] [--configs 2obj,3obj]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.config import PAPER_BASELINES
+from repro.bench.reporting import format_seconds, render_table
+from repro.bench.runners import DEFAULT_BUDGET_SECONDS, ProgramUnderBench
+from repro.workloads import PROFILE_NAMES
+
+__all__ = ["Table2Result", "run_table2", "main"]
+
+_CLIENT_METRICS = ("may_fail_casts", "poly_call_sites", "call_graph_edges")
+
+
+@dataclass
+class Table2Result:
+    """All rows of the regenerated Table 2."""
+
+    budget: float
+    scale: float
+    #: program -> {"ci": s, "fpg": s, "mahjong": s}
+    pre_times: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: program -> config -> metrics dict (or {"timed_out": True})
+    cells: Dict[str, Dict[str, Dict[str, object]]] = field(default_factory=dict)
+
+    def speedup(self, program: str, baseline: str) -> Optional[float]:
+        """Speedup of M-baseline over baseline (None when incomparable)."""
+        base = self.cells.get(program, {}).get(baseline)
+        mahjong = self.cells.get(program, {}).get(f"M-{baseline}")
+        if not base or not mahjong:
+            return None
+        if base.get("timed_out") or mahjong.get("timed_out"):
+            return None
+        m_seconds = float(mahjong["main_seconds"])
+        if m_seconds <= 0:
+            m_seconds = 1e-4
+        return float(base["main_seconds"]) / m_seconds
+
+    def render(self) -> str:
+        chunks: List[str] = []
+        pre_rows = [
+            (
+                name,
+                format_seconds(times["ci"]),
+                format_seconds(times["fpg"]),
+                format_seconds(times["mahjong"]),
+            )
+            for name, times in self.pre_times.items()
+        ]
+        chunks.append(render_table(
+            ("program", "ci", "FPG", "MAHJONG"), pre_rows,
+            title="Pre-analysis time breakdown (Table 2, column 2)",
+        ))
+        baselines = sorted({
+            config[2:] if config.startswith("M-") else config
+            for per_program in self.cells.values()
+            for config in per_program
+        }, key=lambda c: (c[-1] != "s", c))
+        for baseline in baselines:
+            rows = []
+            for program, per_config in self.cells.items():
+                base = per_config.get(baseline)
+                mahjong = per_config.get(f"M-{baseline}")
+                if base is None and mahjong is None:
+                    continue
+                speedup = self.speedup(program, baseline)
+                row: List[object] = [program]
+                for cell in (base, mahjong):
+                    if cell is None:
+                        row += ["-", "-", "-", "-"]
+                        continue
+                    row.append(format_seconds(
+                        cell.get("main_seconds"),
+                        bool(cell.get("timed_out")), self.budget,
+                    ))
+                    for metric in _CLIENT_METRICS:
+                        row.append(cell.get(metric, "-"))
+                if speedup is None:
+                    row.append("-")
+                elif speedup >= 10:
+                    row.append(f"{speedup:.0f}x")
+                else:
+                    row.append(f"{speedup:.1f}x")
+                rows.append(row)
+            headers = (
+                "program",
+                f"{baseline}", "casts", "poly", "cg-edges",
+                f"M-{baseline}", "casts", "poly", "cg-edges",
+                "speedup",
+            )
+            chunks.append(render_table(
+                headers, rows,
+                title=f"Main analysis: {baseline} vs M-{baseline}",
+            ))
+        return "\n\n".join(chunks)
+
+
+def run_table2(
+    profiles: Optional[Sequence[str]] = None,
+    baselines: Optional[Sequence[str]] = None,
+    budget: float = DEFAULT_BUDGET_SECONDS,
+    scale: float = 1.0,
+    verbose: bool = False,
+) -> Table2Result:
+    """Run the Table 2 matrix (defaults: all 12 programs × 5 baselines,
+    each with its MAHJONG variant)."""
+    profiles = list(profiles) if profiles else list(PROFILE_NAMES)
+    baselines = list(baselines) if baselines else list(PAPER_BASELINES)
+    result = Table2Result(budget=budget, scale=scale)
+    for name in profiles:
+        under = ProgramUnderBench.load(name, scale)
+        pre = under.pre
+        result.pre_times[name] = {
+            "ci": pre.ci_seconds,
+            "fpg": pre.fpg_seconds,
+            "mahjong": pre.mahjong_seconds,
+        }
+        result.cells[name] = {}
+        for baseline in baselines:
+            for config in (baseline, f"M-{baseline}"):
+                run = under.run(config, budget)
+                result.cells[name][config] = run.metrics()
+                if verbose:
+                    status = "timeout" if run.timed_out else (
+                        f"{run.main_seconds:.2f}s"
+                    )
+                    print(f"  {name:<12} {config:<8} {status}")
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET_SECONDS)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--profiles", type=str, default="")
+    parser.add_argument("--configs", type=str, default="",
+                        help="comma-separated baselines, e.g. 2obj,3obj")
+    args = parser.parse_args(argv)
+    profiles = [p for p in args.profiles.split(",") if p] or None
+    baselines = [c for c in args.configs.split(",") if c] or None
+    result = run_table2(profiles, baselines, args.budget, args.scale,
+                        verbose=True)
+    print()
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Command-line interface: ``mahjong-repro``.
+
+Subcommands:
+
+* ``analyze FILE --analysis M-2obj`` — parse a mini-Java source file,
+  run a named analysis, print client metrics;
+* ``merge FILE`` — run only the pre-analysis + MAHJONG and print the
+  equivalence classes;
+* ``generate PROFILE [-o FILE]`` — emit a synthetic workload as source;
+* ``bench <harness> ...`` — alias of ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.pipeline import run_analysis
+    from repro.frontend import parse_program
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    run = run_analysis(program, args.analysis, timeout_seconds=args.budget)
+    for key, value in run.metrics().items():
+        print(f"{key}: {value}")
+    return 0 if run.succeeded else 1
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.analysis.pipeline import run_pre_analysis
+    from repro.core.heap_modeler import describe_classes
+    from repro.frontend import parse_program
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    pre = run_pre_analysis(program)
+    merge = pre.merge
+    print(f"objects: {merge.object_count_before} -> "
+          f"{merge.object_count_after} "
+          f"({100 * merge.reduction:.0f}% reduction)")
+    for report in describe_classes(pre.fpg, merge, limit=args.limit):
+        print(report)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.ir.printer import print_program
+    from repro.workloads import load_profile
+
+    program = load_profile(args.profile, args.scale)
+    text = print_program(program)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({program.stats()})")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_viz(args: argparse.Namespace) -> int:
+    from repro.analysis.pipeline import run_pre_analysis
+    from repro.frontend import parse_program
+    from repro.viz import call_graph_to_dot, fpg_to_dot, hierarchy_to_dot
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    if args.kind == "hierarchy":
+        dot = hierarchy_to_dot(program)
+    elif args.kind == "callgraph":
+        from repro.pta.solver import Solver
+
+        result = Solver(program).solve()
+        dot = call_graph_to_dot(result.call_graph_edges(), program)
+    else:  # fpg
+        pre = run_pre_analysis(program)
+        mom = pre.merge.mom if args.merged else None
+        dot = fpg_to_dot(pre.fpg, mom)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.pipeline import run_analysis, run_pre_analysis
+    from repro.export import (
+        analysis_run_to_dict,
+        dump_json,
+        pre_analysis_to_dict,
+    )
+    from repro.frontend import parse_program
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    pre = run_pre_analysis(program)
+    payload = {
+        "program": program.stats(),
+        "pre_analysis": pre_analysis_to_dict(pre),
+        "analyses": {},
+    }
+    for name in args.analyses.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        run = run_analysis(program, name, timeout_seconds=args.budget,
+                           pre=pre if name.startswith("M-") else None)
+        payload["analyses"][name] = analysis_run_to_dict(run)
+    dump_json(payload, args.output if args.output else __import__("sys").stdout)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main([args.harness, *args.rest])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mahjong-repro",
+        description="MAHJONG (PLDI 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run a points-to analysis")
+    analyze.add_argument("file")
+    analyze.add_argument("--analysis", default="M-2obj")
+    analyze.add_argument("--budget", type=float, default=None,
+                         help="main-analysis timeout in seconds")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    merge = sub.add_parser("merge", help="show MAHJONG equivalence classes")
+    merge.add_argument("file")
+    merge.add_argument("--limit", type=int, default=20)
+    merge.set_defaults(func=_cmd_merge)
+
+    generate = sub.add_parser("generate", help="emit a synthetic workload")
+    generate.add_argument("profile")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("-o", "--output", default=None)
+    generate.set_defaults(func=_cmd_generate)
+
+    viz = sub.add_parser("viz", help="emit Graphviz DOT")
+    viz.add_argument("file")
+    viz.add_argument("--kind", choices=("fpg", "callgraph", "hierarchy"),
+                     default="fpg")
+    viz.add_argument("--merged", action="store_true",
+                     help="color FPG nodes by MAHJONG equivalence class")
+    viz.add_argument("-o", "--output", default=None)
+    viz.set_defaults(func=_cmd_viz)
+
+    report = sub.add_parser("report", help="full JSON report of a program")
+    report.add_argument("file")
+    report.add_argument("--analyses", default="ci,2obj,M-2obj")
+    report.add_argument("--budget", type=float, default=None)
+    report.add_argument("-o", "--output", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser("bench", help="run a benchmark harness")
+    bench.add_argument("harness")
+    bench.add_argument("rest", nargs=argparse.REMAINDER)
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

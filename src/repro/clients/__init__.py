@@ -1,0 +1,30 @@
+"""Type-dependent clients of points-to analysis.
+
+The three clients the paper evaluates (Section 6): call graph
+construction, devirtualization, and may-fail casting.  Their precision
+depends on the *types* of pointed-to objects, which is what makes the
+MAHJONG abstraction precision-preserving for them.
+"""
+
+from repro.clients.alias import AliasReport, alias_pairs, may_alias
+from repro.clients.callgraph import CallGraph, build_call_graph
+from repro.clients.casts import CastReport, check_casts
+from repro.clients.cha import ChaCallGraph, build_cha_call_graph
+from repro.clients.devirtualization import DevirtualizationReport, devirtualize
+from repro.clients.exceptions import ExceptionReport, analyze_exceptions
+
+__all__ = [
+    "AliasReport",
+    "alias_pairs",
+    "may_alias",
+    "CallGraph",
+    "build_call_graph",
+    "ChaCallGraph",
+    "build_cha_call_graph",
+    "DevirtualizationReport",
+    "devirtualize",
+    "CastReport",
+    "check_casts",
+    "ExceptionReport",
+    "analyze_exceptions",
+]

@@ -1,0 +1,104 @@
+"""Class hierarchy analysis (CHA) — the no-points-to baseline.
+
+The paper positions points-to-based call graphs against cheaper ones;
+CHA is the classic floor: a virtual call resolves to *every* override
+declared by any subtype of the receiver variable's possible classes.
+Having it in the repository grounds the "context-insensitivity is
+inadequate for type-dependent clients" discussion (Section 6) with a
+baseline that is even less precise than ``ci``.
+
+This implementation is intentionally syntax-directed: reachability is
+computed over the CHA call graph itself (no points-to sets anywhere).
+Because the mini-IR has no static receiver types on variables, the
+receiver class set of a virtual call is approximated by the classes
+that declare (or inherit) the invoked method — the standard
+name-based CHA adaptation for untyped IRs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.ir.program import Method, Program
+from repro.ir.statements import Invoke, StaticInvoke
+
+__all__ = ["ChaCallGraph", "build_cha_call_graph"]
+
+
+@dataclass(frozen=True)
+class ChaCallGraph:
+    """A CHA call graph: edges, per-site targets, reachable methods."""
+
+    edges: FrozenSet[Tuple[int, str]]
+    virtual_site_targets: Dict[int, FrozenSet[str]]
+    static_sites: FrozenSet[int]
+    reachable_methods: FrozenSet[str]
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    @property
+    def reachable_method_count(self) -> int:
+        return len(self.reachable_methods)
+
+    def targets_of(self, call_site: int) -> FrozenSet[str]:
+        return self.virtual_site_targets.get(call_site, frozenset())
+
+
+def _method_implementations(program: Program, method_name: str,
+                            arity: int) -> List[Method]:
+    """Every distinct implementation a virtual call of ``method_name``
+    could dispatch to under CHA: for each class in the program, resolve
+    the call as if an instance of that class were the receiver."""
+    implementations: Dict[str, Method] = {}
+    for class_name in program.classes:
+        target = program.dispatch(class_name, method_name)
+        if target is not None and len(target.params) == arity:
+            implementations[target.qualified_name] = target
+    return list(implementations.values())
+
+
+def build_cha_call_graph(program: Program) -> ChaCallGraph:
+    """CHA with on-the-fly reachability from ``main``."""
+    if program.entry is None:
+        raise ValueError("program has no entry method")
+    edges: Set[Tuple[int, str]] = set()
+    virtual_targets: Dict[int, Set[str]] = {}
+    static_sites: Set[int] = set()
+    reachable: Set[str] = set()
+    worklist = deque([program.entry])
+    while worklist:
+        method = worklist.popleft()
+        if method.qualified_name in reachable:
+            continue
+        reachable.add(method.qualified_name)
+        for stmt in method.statements:
+            if isinstance(stmt, Invoke):
+                targets = virtual_targets.setdefault(stmt.call_site, set())
+                for callee in _method_implementations(
+                    program, stmt.method_name, len(stmt.args)
+                ):
+                    edges.add((stmt.call_site, callee.qualified_name))
+                    targets.add(callee.qualified_name)
+                    if callee.qualified_name not in reachable:
+                        worklist.append(callee)
+            elif isinstance(stmt, StaticInvoke):
+                static_sites.add(stmt.call_site)
+                callee = program.static_method(stmt.class_name,
+                                               stmt.method_name)
+                if callee is not None and len(callee.params) == len(stmt.args):
+                    edges.add((stmt.call_site, callee.qualified_name))
+                    if callee.qualified_name not in reachable:
+                        worklist.append(callee)
+    return ChaCallGraph(
+        edges=frozenset(edges),
+        virtual_site_targets={
+            site: frozenset(targets)
+            for site, targets in virtual_targets.items()
+        },
+        static_sites=frozenset(static_sites),
+        reachable_methods=frozenset(reachable),
+    )

@@ -1,0 +1,65 @@
+"""Devirtualization client (Section 6's second client).
+
+A virtual call site is *devirtualizable* (a mono-call) when the analysis
+resolves it to exactly one target method; the paper reports the number
+of *poly call sites* — virtual sites with two or more targets — where
+fewer is more precise.  Sites whose receiver set is empty are neither
+(they are unreachable dispatches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.clients.callgraph import CallGraph, build_call_graph
+from repro.pta.results import PointsToResult
+
+__all__ = ["DevirtualizationReport", "devirtualize"]
+
+
+@dataclass(frozen=True)
+class DevirtualizationReport:
+    """Per-site classification of virtual calls."""
+
+    mono_sites: FrozenSet[int]
+    poly_sites: FrozenSet[int]
+    unresolved_sites: FrozenSet[int]
+
+    @property
+    def poly_call_site_count(self) -> int:
+        """The paper's "#poly call sites" metric."""
+        return len(self.poly_sites)
+
+    @property
+    def mono_call_site_count(self) -> int:
+        return len(self.mono_sites)
+
+    @property
+    def devirtualization_ratio(self) -> float:
+        """Fraction of resolved virtual sites that are mono-calls."""
+        resolved = len(self.mono_sites) + len(self.poly_sites)
+        if resolved == 0:
+            return 1.0
+        return len(self.mono_sites) / resolved
+
+
+def devirtualize(source) -> DevirtualizationReport:
+    """Classify virtual call sites from a points-to result or call graph."""
+    if isinstance(source, PointsToResult):
+        call_graph: CallGraph = build_call_graph(source)
+    else:
+        call_graph = source
+    mono = set()
+    poly = set()
+    unresolved = set()
+    for site, targets in call_graph.virtual_site_targets.items():
+        if len(targets) == 0:
+            unresolved.add(site)
+        elif len(targets) == 1:
+            mono.add(site)
+        else:
+            poly.add(site)
+    return DevirtualizationReport(
+        frozenset(mono), frozenset(poly), frozenset(unresolved)
+    )

@@ -1,0 +1,132 @@
+"""Disjoint-set forest (union–find) with union-by-rank and path compression.
+
+Used in two places, exactly as in the paper (Section 5):
+
+* Algorithm 1 maintains the growing type-consistency equivalence relation
+  over heap objects;
+* Algorithm 4 (Hopcroft–Karp) maintains the would-be-merged DFA state
+  classes during an equivalence test.
+
+Both heuristics bring the amortized cost of ``union``/``find`` to nearly
+O(1) (inverse Ackermann).  A deliberately naive variant
+(:class:`NaiveDisjointSets`) is kept for the ablation benchmark and as a
+property-test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, List, Set, TypeVar
+
+__all__ = ["DisjointSets", "NaiveDisjointSets"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DisjointSets(Generic[T]):
+    """Union–find over arbitrary hashable elements.
+
+    Elements are added implicitly on first use (``find`` of an unknown
+    element makes it a singleton), which matches how both algorithms in
+    the paper initialize W and V with singletons.
+    """
+
+    def __init__(self, elements: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._rank: Dict[T, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: T) -> None:
+        """Make ``element`` a singleton set if it is new."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: T) -> T:
+        """Representative of ``element``'s set (with path compression)."""
+        parent = self._parent
+        if element not in parent:
+            self.add(element)
+            return element
+        root = element
+        while parent[root] != root:
+            root = parent[root]
+        # path compression: point everything on the path at the root
+        while parent[element] != root:
+            parent[element], element = root, parent[element]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Unite the sets of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        rank_a, rank_b = self._rank[ra], self._rank[rb]
+        if rank_a < rank_b:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if rank_a == rank_b:
+            self._rank[ra] = rank_a + 1
+        return ra
+
+    def connected(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> List[Set[T]]:
+        """All equivalence classes (each a set), in no particular order."""
+        by_root: Dict[T, Set[T]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())
+
+
+class NaiveDisjointSets(Generic[T]):
+    """Union–find without rank or compression — worst case O(n) finds.
+
+    Exists only as (a) an oracle for property tests and (b) the baseline
+    of the disjoint-set ablation bench.
+    """
+
+    def __init__(self, elements: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: T) -> None:
+        if element not in self._parent:
+            self._parent[element] = element
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: T) -> T:
+        if element not in self._parent:
+            self.add(element)
+            return element
+        while self._parent[element] != element:
+            element = self._parent[element]
+        return element
+
+    def union(self, a: T, b: T) -> T:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+        return ra
+
+    def connected(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> List[Set[T]]:
+        by_root: Dict[T, Set[T]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())

@@ -1,0 +1,215 @@
+"""Automata equivalence checking — Algorithm 4 (EQUIV-CHECKER).
+
+The classic Hopcroft–Karp union–find algorithm for DFA equivalence,
+modified for 6-tuple sequential automata: instead of comparing accepting
+status, the final condition requires every merged class of states to
+agree on the output map γ (here: the type set of each DFA state).
+
+Undefined transitions go to the implicit error state ``q_error`` with
+``γ[q_error] = {ERROR_TYPE_NAME}`` (Section 4.4's convention).
+
+Three implementations, all behaviourally identical:
+
+* :func:`dfa_equivalent` — over explicit :class:`SequentialDFA` values,
+  literal Algorithm 4 with the γ check performed at the end, exactly as
+  written in the paper;
+* :func:`shared_equivalent` — over :class:`SharedAutomata` states, with
+  the γ check folded into each union (early exit), the variant the
+  merging engine uses;
+* :func:`brute_force_equivalent` — a product-automaton BFS oracle used
+  by the property tests (no union–find, quadratic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.automata import (
+    DFAState,
+    ERROR_TYPE_NAME,
+    SequentialDFA,
+)
+from repro.core.disjoint_sets import DisjointSets
+
+__all__ = ["dfa_equivalent", "shared_equivalent", "brute_force_equivalent"]
+
+_ERROR_OUTPUT: FrozenSet[str] = frozenset([ERROR_TYPE_NAME])
+
+
+# ----------------------------------------------------------------------
+# Explicit DFAs (reference implementation of Algorithm 4)
+# ----------------------------------------------------------------------
+def dfa_equivalent(dfa1: SequentialDFA, dfa2: SequentialDFA) -> bool:
+    """Are the two sequential DFAs equivalent (same behaviour β)?
+
+    Follows Algorithm 4 line by line: union the two start states, then
+    for every popped pair and every input symbol, union the successor
+    classes; finally check that all states in each class share one
+    output.  States of the two DFAs are tagged 1/2 so same-valued states
+    from different automata stay distinct, and ``None`` plays q_error.
+    """
+    # Tagged state: (which_dfa, state) ; q_error is the shared None.
+    ErrorState = None
+    q1 = (1, dfa1.q0)
+    q2 = (2, dfa2.q0)
+
+    def delta(tagged, symbol: str):
+        if tagged is ErrorState:
+            return ErrorState
+        which, state = tagged
+        dfa = dfa1 if which == 1 else dfa2
+        successor = dfa.delta.get((state, symbol))
+        if successor is None:
+            return ErrorState
+        return (which, successor)
+
+    def gamma(tagged) -> FrozenSet[str]:
+        if tagged is ErrorState:
+            return _ERROR_OUTPUT
+        which, state = tagged
+        dfa = dfa1 if which == 1 else dfa2
+        return dfa.gamma[state]
+
+    sets: DisjointSets = DisjointSets()
+    for state in dfa1.states:
+        sets.add((1, state))
+    for state in dfa2.states:
+        sets.add((2, state))
+    sets.add(_ERROR_KEY)
+
+    def find(tagged):
+        return sets.find(_ERROR_KEY if tagged is ErrorState else tagged)
+
+    sigma = dfa1.sigma | dfa2.sigma
+    sets.union(q1, q2)
+    stack: List[Tuple[object, object]] = [(q1, q2)]
+    while stack:
+        p1, p2 = stack.pop()
+        for symbol in sigma:
+            r1 = find(delta(p1, symbol))
+            r2 = find(delta(p2, symbol))
+            if r1 != r2:
+                sets.union(r1, r2)
+                stack.append((_untag_error(r1), _untag_error(r2)))
+    # Final check: within every class, all states output the same γ.
+    outputs_by_root: Dict[object, FrozenSet[str]] = {}
+    for cls in sets.classes():
+        expected: Optional[FrozenSet[str]] = None
+        for tagged in cls:
+            out = _ERROR_OUTPUT if tagged == _ERROR_KEY else gamma(tagged)
+            if expected is None:
+                expected = out
+            elif out != expected:
+                return False
+        outputs_by_root[sets.find(next(iter(cls)))] = expected or _ERROR_OUTPUT
+    return True
+
+
+_ERROR_KEY = ("error",)
+
+
+def _untag_error(tagged):
+    return None if tagged == _ERROR_KEY else tagged
+
+
+# ----------------------------------------------------------------------
+# Shared automata (the production path)
+# ----------------------------------------------------------------------
+def shared_equivalent(root1: DFAState, root2: DFAState) -> bool:
+    """Algorithm 4 over shared DFA states, with the γ check performed at
+    each union instead of at the end (identical verdict, earlier exit).
+
+    Shared states are compared by identity (the :class:`SharedAutomata`
+    memo guarantees one object per state set), so when both roots come
+    from the same universe, structurally identical automata unify
+    immediately.
+    """
+    if root1 is root2:
+        return True
+    if root1.types != root2.types:
+        return False
+
+    # Union–find over id(state); the error state is the key 0 (ids of
+    # real objects are never 0).
+    parent: Dict[int, int] = {}
+    gamma_of: Dict[int, FrozenSet[str]] = {0: _ERROR_OUTPUT}
+    state_of: Dict[int, Optional[DFAState]] = {0: None}
+
+    def key_of(state: Optional[DFAState]) -> int:
+        if state is None:
+            return 0
+        k = id(state)
+        if k not in parent:
+            parent[k] = k
+            gamma_of[k] = state.types
+            state_of[k] = state
+        return k
+
+    parent[0] = 0
+
+    def find(k: int) -> int:
+        root = k
+        while parent[root] != root:
+            root = parent[root]
+        while parent[k] != root:
+            parent[k], k = root, parent[k]
+        return root
+
+    def union(a: int, b: int) -> bool:
+        """Unite; False when the classes' outputs disagree."""
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return True
+        if gamma_of[ra] != gamma_of[rb]:
+            return False
+        parent[rb] = ra
+        return True
+
+    k1, k2 = key_of(root1), key_of(root2)
+    if not union(k1, k2):
+        return False
+    stack: List[Tuple[Optional[DFAState], Optional[DFAState]]] = [(root1, root2)]
+    while stack:
+        p1, p2 = stack.pop()
+        symbols: Set[str] = set()
+        if p1 is not None:
+            symbols.update(p1.transitions)
+        if p2 is not None:
+            symbols.update(p2.transitions)
+        for symbol in symbols:
+            n1 = p1.transitions.get(symbol) if p1 is not None else None
+            n2 = p2.transitions.get(symbol) if p2 is not None else None
+            r1 = find(key_of(n1))
+            r2 = find(key_of(n2))
+            if r1 != r2:
+                if not union(r1, r2):
+                    return False
+                stack.append((state_of[r1], state_of[r2]))
+    return True
+
+
+# ----------------------------------------------------------------------
+# Brute-force oracle for property tests
+# ----------------------------------------------------------------------
+def brute_force_equivalent(dfa1: SequentialDFA, dfa2: SequentialDFA) -> bool:
+    """Product-automaton BFS: two DFAs are equivalent iff every reachable
+    pair of (possibly error) states agrees on γ.  Used as an independent
+    oracle for :func:`dfa_equivalent` and :func:`shared_equivalent`."""
+    sigma = dfa1.sigma | dfa2.sigma
+    start = (dfa1.q0, dfa2.q0)
+    seen: Set[Tuple[object, object]] = {start}
+    queue: List[Tuple[object, object]] = [start]
+    while queue:
+        s1, s2 = queue.pop()
+        out1 = dfa1.gamma[s1] if s1 is not None else _ERROR_OUTPUT
+        out2 = dfa2.gamma[s2] if s2 is not None else _ERROR_OUTPUT
+        if out1 != out2:
+            return False
+        for symbol in sigma:
+            n1 = dfa1.delta.get((s1, symbol)) if s1 is not None else None
+            n2 = dfa2.delta.get((s2, symbol)) if s2 is not None else None
+            pair = (n1, n2)
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+    return True

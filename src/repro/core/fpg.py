@@ -1,0 +1,188 @@
+"""The field points-to graph (FPG) — Section 4.1 of the paper.
+
+The FPG is MAHJONG's input: a directed, field-labeled graph over the
+abstract heap objects discovered by the pre-analysis.  An edge
+``(o_i, f, o_j)`` means ``o_i.f`` may point to ``o_j``.
+
+Conventions, exactly as in the paper:
+
+* nodes are allocation sites (the pre-analysis uses the allocation-site
+  abstraction context-insensitively, so objects ↔ sites);
+* a dummy node :data:`NULL_OBJECT` represents ``null``; every field a
+  class declares that the pre-analysis found nothing stored into points
+  to :data:`NULL_OBJECT` — this is what lets MAHJONG separate "container
+  of X" from "container with never-assigned fields" (Table 1, row 6);
+* ``(o_null, f, o_null)`` is implicit for every field (handled by the
+  automata layer, which gives the null node no outgoing alphabet and a
+  distinguished type).
+
+Build one with :func:`build_fpg` from a context-insensitive
+:class:`~repro.pta.results.PointsToResult`, or directly with
+:class:`FieldPointsToGraph` for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
+
+from repro.ir.types import NULL_TYPE
+from repro.pta.results import PointsToResult
+
+__all__ = ["FieldPointsToGraph", "build_fpg", "NULL_OBJECT", "NULL_TYPE_NAME"]
+
+#: The dummy null object's node id (allocation sites start at 1).
+NULL_OBJECT = 0
+
+#: TYPEOF(o_null) — the "special type" of Section 4.1.
+NULL_TYPE_NAME = NULL_TYPE.name
+
+
+class FieldPointsToGraph:
+    """A field points-to graph ``FPG = (N, E)`` plus the object-to-type
+    map ``τ`` and the per-object alphabet ``FIELDSOF``."""
+
+    def __init__(self) -> None:
+        self._type_of: Dict[int, str] = {NULL_OBJECT: NULL_TYPE_NAME}
+        # successors: object -> field -> frozenset of objects
+        self._succ: Dict[int, Dict[str, Set[int]]] = {NULL_OBJECT: {}}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_object(self, obj: int, type_name: str) -> None:
+        """Register node ``obj`` with type ``type_name``."""
+        if obj == NULL_OBJECT:
+            raise ValueError(f"node id {NULL_OBJECT} is reserved for null")
+        existing = self._type_of.get(obj)
+        if existing is not None and existing != type_name:
+            raise ValueError(
+                f"object {obj} already has type {existing!r}, not {type_name!r}"
+            )
+        self._type_of[obj] = type_name
+        self._succ.setdefault(obj, {})
+
+    def add_edge(self, source: int, field: str, target: int) -> None:
+        """Add ``(source, field, target)``; both nodes must be registered
+        (``target`` may be :data:`NULL_OBJECT`)."""
+        if source not in self._type_of:
+            raise KeyError(f"unknown source object {source}")
+        if target not in self._type_of:
+            raise KeyError(f"unknown target object {target}")
+        self._succ[source].setdefault(field, set()).add(target)
+
+    def add_null_field(self, source: int, field: str) -> None:
+        """Record that ``source.field`` holds only ``null``."""
+        self.add_edge(source, field, NULL_OBJECT)
+
+    # ------------------------------------------------------------------
+    # Queries (the automata layer's entire interface)
+    # ------------------------------------------------------------------
+    def objects(self) -> Iterator[int]:
+        """All nodes except the null node."""
+        return (o for o in self._type_of if o != NULL_OBJECT)
+
+    def __contains__(self, obj: int) -> bool:
+        return obj in self._type_of
+
+    def __len__(self) -> int:
+        """Number of heap objects (null excluded)."""
+        return len(self._type_of) - 1
+
+    def type_of(self, obj: int) -> str:
+        """``TYPEOF(obj)`` — the special null type for the null node."""
+        return self._type_of[obj]
+
+    def fields_of(self, obj: int) -> Iterable[str]:
+        """``FIELDSOF(obj)`` — fields with outgoing edges from ``obj``.
+
+        The null node has none: reading any field of null "stays null",
+        modeled in the automata layer via the error/sink convention.
+        """
+        return self._succ[obj].keys()
+
+    def points_to(self, obj: int, field: str) -> FrozenSet[int]:
+        """``α[obj, field]`` — empty when the field has no edge."""
+        targets = self._succ[obj].get(field)
+        return frozenset(targets) if targets else frozenset()
+
+    def reachable_from(self, root: int) -> Set[int]:
+        """All objects reachable from ``root`` (root included)."""
+        seen = {root}
+        stack = [root]
+        while stack:
+            obj = stack.pop()
+            for targets in self._succ[obj].values():
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        stack.append(target)
+        return seen
+
+    def edges(self) -> Iterator[Tuple[int, str, int]]:
+        for source, by_field in self._succ.items():
+            for field, targets in by_field.items():
+                for target in targets:
+                    yield source, field, target
+
+    def edge_count(self) -> int:
+        return sum(
+            len(targets)
+            for by_field in self._succ.values()
+            for targets in by_field.values()
+        )
+
+    def stats(self) -> Dict[str, int]:
+        types = {t for o, t in self._type_of.items() if o != NULL_OBJECT}
+        fields = {f for by_field in self._succ.values() for f in by_field}
+        return {
+            "objects": len(self),
+            "types": len(types),
+            "fields": len(fields),
+            "edges": self.edge_count(),
+        }
+
+
+def build_fpg(pre_result: PointsToResult) -> FieldPointsToGraph:
+    """Build the FPG from a context-insensitive, allocation-site-based
+    pre-analysis result (the paper's setting).
+
+    Raises ``ValueError`` when the result was computed with contexts or a
+    non-allocation-site heap model, because then objects would not map
+    one-to-one onto allocation sites.
+    """
+    if pre_result.heap_model_name != "alloc-site":
+        raise ValueError(
+            "the pre-analysis must use the allocation-site abstraction, "
+            f"got {pre_result.heap_model_name!r}"
+        )
+    if pre_result.selector_name != "ci":
+        raise ValueError(
+            "the pre-analysis must be context-insensitive, "
+            f"got {pre_result.selector_name!r}"
+        )
+    fpg = FieldPointsToGraph()
+    program = pre_result.program
+
+    # Object id -> allocation site (1:1 under ci + alloc-site).
+    site_of: Dict[int, int] = {}
+    for obj in pre_result.objects():
+        site = pre_result.object_site_key(obj)
+        assert isinstance(site, int)
+        site_of[obj] = site
+        fpg.add_object(site, pre_result.object_class(obj))
+
+    for base_obj, field, pointee_obj in pre_result.field_points_to():
+        fpg.add_edge(site_of[base_obj], field, site_of[pointee_obj])
+
+    # Null fields: every *declared* field (inherited included) of every
+    # object that the pre-analysis found nothing stored into.
+    for obj in pre_result.objects():
+        site = site_of[obj]
+        class_name = pre_result.object_class(obj)
+        if class_name not in program.hierarchy:
+            continue
+        declared = program.fields_of_class(class_name)
+        for field_name in declared:
+            if not fpg.points_to(site, field_name):
+                fpg.add_null_field(site, field_name)
+    return fpg

@@ -1,0 +1,98 @@
+"""The heap modeler (Section 3.5): quotient set → heap abstraction.
+
+Turns a :class:`~repro.core.merging.MergeResult` into the
+:class:`~repro.pta.heapmodel.MahjongAbstraction` a subsequent points-to
+analysis plugs in, and produces the human-readable equivalence-class
+report behind Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.fpg import NULL_OBJECT, FieldPointsToGraph
+from repro.core.merging import MergeResult
+from repro.pta.heapmodel import MahjongAbstraction
+
+__all__ = ["build_heap_abstraction", "EquivalenceClassReport", "describe_classes"]
+
+
+def build_heap_abstraction(result: MergeResult) -> MahjongAbstraction:
+    """The MOM of Definition 2.2, packaged for the solver."""
+    return MahjongAbstraction(result.mom)
+
+
+@dataclass(frozen=True)
+class EquivalenceClassReport:
+    """One row of a Table-1-style report."""
+
+    rank: int
+    type_name: str
+    size: int
+    total_objects_of_type: int
+    sites: tuple
+    remark: str
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.rank:<4} {self.type_name:<28} size={self.size:<6} "
+            f"of {self.total_objects_of_type:<6} {self.remark}"
+        )
+
+
+def describe_classes(
+    fpg: FieldPointsToGraph,
+    result: MergeResult,
+    limit: Optional[int] = None,
+) -> List[EquivalenceClassReport]:
+    """Rank equivalence classes by decreasing size (Table 1's layout).
+
+    The remark column summarizes what the class's objects store: the
+    types reached through one field hop (e.g. "char[]" for the paper's
+    StringBuilder class) or "null fields" when everything is null.
+    """
+    totals: Dict[str, int] = {}
+    for obj in fpg.objects():
+        type_name = fpg.type_of(obj)
+        totals[type_name] = totals.get(type_name, 0) + 1
+
+    ranked = sorted(
+        (cls for cls in result.classes if NULL_OBJECT not in cls),
+        key=lambda cls: (-len(cls), min(cls)),
+    )
+    reports: List[EquivalenceClassReport] = []
+    for rank, cls in enumerate(ranked, start=1):
+        if limit is not None and rank > limit:
+            break
+        representative = min(cls)
+        type_name = fpg.type_of(representative)
+        reports.append(
+            EquivalenceClassReport(
+                rank=rank,
+                type_name=type_name,
+                size=len(cls),
+                total_objects_of_type=totals.get(type_name, 0),
+                sites=tuple(sorted(cls)),
+                remark=_remark_for(fpg, representative),
+            )
+        )
+    return reports
+
+
+def _remark_for(fpg: FieldPointsToGraph, obj: int) -> str:
+    """What does this object's class store one hop away?"""
+    stored: Set[str] = set()
+    null_only_fields = 0
+    fields = list(fpg.fields_of(obj))
+    for field_name in fields:
+        targets = fpg.points_to(obj, field_name)
+        non_null = {t for t in targets if t != NULL_OBJECT}
+        if not non_null and targets:
+            null_only_fields += 1
+        stored.update(fpg.type_of(t) for t in non_null)
+    if not fields:
+        return "no fields"
+    if not stored:
+        return "null fields"
+    return ", ".join(sorted(stored))

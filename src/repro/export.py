@@ -1,0 +1,132 @@
+"""Machine-readable (JSON) export of analysis artifacts.
+
+Everything a downstream consumer might diff, plot, or archive:
+
+* :func:`merge_result_to_dict` — the MOM, class sizes, and timings of a
+  merging run;
+* :func:`analysis_run_to_dict` — one configuration's metrics (a Table 2
+  cell);
+* :func:`table2_to_dict` / :func:`fig8_to_dict` / :func:`fig9_to_dict`
+  — whole harness results;
+* :func:`dump_json` — stable (sorted-key, newline-terminated) writer.
+
+All dictionaries contain only JSON-native types, round-trip through
+``json.dumps`` untouched, and keep keys stable across versions (tests
+pin the schemas).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+from repro.analysis.pipeline import AnalysisRun, PreAnalysisArtifacts
+from repro.bench.fig8 import Fig8Result
+from repro.bench.fig9 import Fig9Result
+from repro.bench.table2 import Table2Result
+from repro.core.merging import MergeResult
+
+__all__ = [
+    "merge_result_to_dict",
+    "pre_analysis_to_dict",
+    "analysis_run_to_dict",
+    "table2_to_dict",
+    "fig8_to_dict",
+    "fig9_to_dict",
+    "dump_json",
+]
+
+
+def merge_result_to_dict(result: MergeResult) -> Dict[str, Any]:
+    """Serialize a merging run (Algorithm 1's output)."""
+    return {
+        "objects_before": result.object_count_before,
+        "objects_after": result.object_count_after,
+        "reduction": round(result.reduction, 4),
+        "seconds": round(result.seconds, 6),
+        "equivalence_tests": result.equivalence_tests,
+        "singletype_failures": result.singletype_failures,
+        "shared_states": result.shared_states,
+        "mom": {str(site): representative
+                for site, representative in sorted(result.mom.items())},
+        "class_size_histogram": {
+            str(size): count
+            for size, count in sorted(result.class_size_histogram().items())
+        },
+    }
+
+
+def pre_analysis_to_dict(pre: PreAnalysisArtifacts) -> Dict[str, Any]:
+    """Serialize the whole pre-analysis phase (Figure 5's left half)."""
+    return {
+        "ci_seconds": round(pre.ci_seconds, 6),
+        "fpg_seconds": round(pre.fpg_seconds, 6),
+        "mahjong_seconds": round(pre.mahjong_seconds, 6),
+        "fpg": pre.fpg.stats(),
+        "merge": merge_result_to_dict(pre.merge),
+    }
+
+
+def analysis_run_to_dict(run: AnalysisRun) -> Dict[str, Any]:
+    """Serialize one analysis configuration's outcome (a Table 2 cell)."""
+    payload: Dict[str, Any] = dict(run.metrics())
+    payload["heap"] = run.config.heap
+    payload["sensitivity"] = run.config.sensitivity
+    payload["succeeded"] = run.succeeded
+    return payload
+
+
+def table2_to_dict(result: Table2Result) -> Dict[str, Any]:
+    """Serialize a full Table 2 harness run, speedups included."""
+    baselines = sorted({
+        config[2:] for per_program in result.cells.values()
+        for config in per_program if config.startswith("M-")
+    })
+    return {
+        "budget_seconds": result.budget,
+        "scale": result.scale,
+        "pre_times": {
+            program: {k: round(v, 6) for k, v in times.items()}
+            for program, times in result.pre_times.items()
+        },
+        "cells": result.cells,
+        "speedups": {
+            program: {
+                baseline: result.speedup(program, baseline)
+                for baseline in baselines
+            }
+            for program in result.cells
+        },
+    }
+
+
+def fig8_to_dict(result: Fig8Result) -> Dict[str, Any]:
+    return {
+        "series": {
+            program: {"alloc_site": before, "mahjong": after}
+            for program, (before, after) in result.series.items()
+        },
+        "average_reduction": round(result.average_reduction, 4),
+    }
+
+
+def fig9_to_dict(result: Fig9Result) -> Dict[str, Any]:
+    return {
+        "profile": result.profile,
+        "points": [[size, count] for size, count in result.points],
+        "singleton_classes": result.singleton_classes,
+        "largest_class_size": result.largest_class_size,
+    }
+
+
+def dump_json(payload: Dict[str, Any], target: Union[str, IO[str]]) -> None:
+    """Write ``payload`` as stable JSON (sorted keys, trailing newline).
+
+    ``target`` is a path or an open text handle.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)

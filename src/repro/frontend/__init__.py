@@ -1,0 +1,24 @@
+"""Frontend for the mini-Java surface language.
+
+The main entry point is :func:`parse_program`, which lexes, parses and
+lowers source text into a validated IR :class:`~repro.ir.program.Program`.
+"""
+
+from repro.frontend.errors import FrontendError, LexError, ParseError, SourcePosition
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.lowering import lower, parse_program
+from repro.frontend.parser import parse_ast, parse_with_diagnostics
+
+__all__ = [
+    "parse_program",
+    "parse_ast",
+    "parse_with_diagnostics",
+    "lower",
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "FrontendError",
+    "LexError",
+    "ParseError",
+    "SourcePosition",
+]

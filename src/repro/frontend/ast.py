@@ -1,0 +1,158 @@
+"""Abstract syntax tree of the mini-Java surface language.
+
+The AST is deliberately close to the IR but keeps source positions and
+leaves classes unordered (lowering topologically sorts by inheritance
+before building the IR, so source files may declare subclasses first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.frontend.errors import SourcePosition
+
+__all__ = [
+    "AstProgram",
+    "AstClass",
+    "AstField",
+    "AstMethod",
+    "AstStatement",
+    "AstNew",
+    "AstCopy",
+    "AstLoad",
+    "AstStore",
+    "AstStaticLoad",
+    "AstStaticStore",
+    "AstInvoke",
+    "AstStaticInvoke",
+    "AstCast",
+    "AstReturn",
+    "AstNull",
+    "AstThrow",
+    "AstCatch",
+]
+
+
+@dataclass(frozen=True)
+class AstStatement:
+    """Base class; every statement records its position."""
+
+    position: SourcePosition
+
+
+@dataclass(frozen=True)
+class AstNew(AstStatement):
+    target: str
+    class_name: str
+
+
+@dataclass(frozen=True)
+class AstCopy(AstStatement):
+    target: str
+    source: str
+
+
+@dataclass(frozen=True)
+class AstLoad(AstStatement):
+    target: str
+    base: str
+    field_name: str
+
+
+@dataclass(frozen=True)
+class AstStore(AstStatement):
+    base: str
+    field_name: str
+    source: str
+
+
+@dataclass(frozen=True)
+class AstStaticLoad(AstStatement):
+    target: str
+    class_name: str
+    field_name: str
+
+
+@dataclass(frozen=True)
+class AstStaticStore(AstStatement):
+    class_name: str
+    field_name: str
+    source: str
+
+
+@dataclass(frozen=True)
+class AstInvoke(AstStatement):
+    target: Optional[str]
+    base: str
+    method_name: str
+    args: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AstStaticInvoke(AstStatement):
+    target: Optional[str]
+    class_name: str
+    method_name: str
+    args: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AstCast(AstStatement):
+    target: str
+    class_name: str
+    source: str
+
+
+@dataclass(frozen=True)
+class AstReturn(AstStatement):
+    source: str
+
+
+@dataclass(frozen=True)
+class AstNull(AstStatement):
+    target: str
+
+
+@dataclass(frozen=True)
+class AstThrow(AstStatement):
+    source: str
+
+
+@dataclass(frozen=True)
+class AstCatch(AstStatement):
+    target: str
+    class_name: str
+
+
+@dataclass(frozen=True)
+class AstField:
+    name: str
+    declared_type: str
+    is_static: bool
+    position: SourcePosition
+
+
+@dataclass(frozen=True)
+class AstMethod:
+    name: str
+    params: Tuple[str, ...]
+    is_static: bool
+    statements: Tuple[AstStatement, ...]
+    position: SourcePosition
+
+
+@dataclass(frozen=True)
+class AstClass:
+    name: str
+    superclass: Optional[str]
+    fields: Tuple[AstField, ...]
+    methods: Tuple[AstMethod, ...]
+    position: SourcePosition
+
+
+@dataclass
+class AstProgram:
+    classes: List[AstClass] = field(default_factory=list)
+    main_statements: Tuple[AstStatement, ...] = ()
+    main_position: Optional[SourcePosition] = None

@@ -1,0 +1,35 @@
+"""Frontend diagnostics with source positions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SourcePosition", "FrontendError", "LexError", "ParseError"]
+
+
+@dataclass(frozen=True)
+class SourcePosition:
+    """1-based line/column position in a source text."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class FrontendError(ValueError):
+    """Base class of lexing and parsing errors."""
+
+    def __init__(self, message: str, position: SourcePosition) -> None:
+        super().__init__(f"{position}: {message}")
+        self.message = message
+        self.position = position
+
+
+class LexError(FrontendError):
+    """An unrecognized character or malformed token."""
+
+
+class ParseError(FrontendError):
+    """A syntactically invalid token sequence."""

@@ -1,0 +1,193 @@
+"""Hand-written lexer for the mini-Java surface language.
+
+Token kinds:
+
+* ``IDENT`` — identifiers (``[A-Za-z_<][A-Za-z0-9_<>]*``; angle brackets
+  let generated names like ``<Main>`` round-trip);
+* keywords — ``class extends field method static main new null return
+  throw catch``
+  (lexed as their own kinds);
+* punctuation — ``{ } ( ) ; , . : :: =``;
+* ``EOF`` — end of input.
+
+Comments (``// ...`` and ``/* ... */``) and whitespace are skipped.
+Positions are tracked for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.frontend.errors import LexError, SourcePosition
+
+__all__ = ["Token", "TokenKind", "tokenize"]
+
+
+class TokenKind:
+    """Token kind constants (plain strings for cheap comparison)."""
+
+    IDENT = "IDENT"
+    LBRACE = "LBRACE"
+    RBRACE = "RBRACE"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    SEMI = "SEMI"
+    COMMA = "COMMA"
+    DOT = "DOT"
+    COLON = "COLON"
+    DOUBLE_COLON = "DOUBLE_COLON"
+    ASSIGN = "ASSIGN"
+    EOF = "EOF"
+    # Keywords
+    CLASS = "CLASS"
+    EXTENDS = "EXTENDS"
+    FIELD = "FIELD"
+    METHOD = "METHOD"
+    STATIC = "STATIC"
+    MAIN = "MAIN"
+    NEW = "NEW"
+    NULL = "NULL"
+    RETURN = "RETURN"
+    THROW = "THROW"
+    CATCH = "CATCH"
+
+
+_KEYWORDS = {
+    "class": TokenKind.CLASS,
+    "extends": TokenKind.EXTENDS,
+    "field": TokenKind.FIELD,
+    "method": TokenKind.METHOD,
+    "static": TokenKind.STATIC,
+    "main": TokenKind.MAIN,
+    "new": TokenKind.NEW,
+    "null": TokenKind.NULL,
+    "return": TokenKind.RETURN,
+    "throw": TokenKind.THROW,
+    "catch": TokenKind.CATCH,
+}
+
+_SINGLE_CHAR = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its spelling and position."""
+
+    kind: str
+    text: str
+    position: SourcePosition
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.position}"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_<$"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch in "_<>$[]"
+
+
+class _Cursor:
+    """Character stream with position tracking."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.index = 0
+        self.line = 1
+        self.column = 1
+
+    def position(self) -> SourcePosition:
+        return SourcePosition(self.line, self.column)
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.index + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.index]
+        self.index += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.text)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into a token list ending with an ``EOF`` token."""
+    return list(iter_tokens(text))
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    """Generator variant of :func:`tokenize`."""
+    cursor = _Cursor(text)
+    while True:
+        _skip_trivia(cursor)
+        if cursor.at_end():
+            yield Token(TokenKind.EOF, "", cursor.position())
+            return
+        pos = cursor.position()
+        ch = cursor.peek()
+        if _is_ident_start(ch):
+            yield _lex_ident(cursor, pos)
+        elif ch == ":":
+            cursor.advance()
+            if cursor.peek() == ":":
+                cursor.advance()
+                yield Token(TokenKind.DOUBLE_COLON, "::", pos)
+            else:
+                yield Token(TokenKind.COLON, ":", pos)
+        elif ch in _SINGLE_CHAR:
+            cursor.advance()
+            yield Token(_SINGLE_CHAR[ch], ch, pos)
+        else:
+            raise LexError(f"unexpected character {ch!r}", pos)
+
+
+def _skip_trivia(cursor: _Cursor) -> None:
+    while not cursor.at_end():
+        ch = cursor.peek()
+        if ch.isspace():
+            cursor.advance()
+        elif ch == "/" and cursor.peek(1) == "/":
+            while not cursor.at_end() and cursor.peek() != "\n":
+                cursor.advance()
+        elif ch == "/" and cursor.peek(1) == "*":
+            open_pos = cursor.position()
+            cursor.advance()
+            cursor.advance()
+            while True:
+                if cursor.at_end():
+                    raise LexError("unterminated block comment", open_pos)
+                if cursor.peek() == "*" and cursor.peek(1) == "/":
+                    cursor.advance()
+                    cursor.advance()
+                    break
+                cursor.advance()
+        else:
+            return
+
+
+def _lex_ident(cursor: _Cursor, pos: SourcePosition) -> Token:
+    chars = [cursor.advance()]
+    while not cursor.at_end() and _is_ident_part(cursor.peek()):
+        chars.append(cursor.advance())
+    text = "".join(chars)
+    kind = _KEYWORDS.get(text, TokenKind.IDENT)
+    return Token(kind, text, pos)

@@ -1,0 +1,278 @@
+"""A concrete reference interpreter — the soundness oracle.
+
+Executes a mini-Java program with real objects and real dispatch and
+records every runtime fact a points-to analysis claims to
+over-approximate:
+
+* variable bindings ``(method, var, allocation site)``;
+* call edges ``(call site, concrete callee)``;
+* heap stores ``(base site, field, stored site)``;
+* failed casts (the object's class was not a subtype);
+* exceptions reaching each method's exceptional exit.
+
+The tests assert, for arbitrary programs and every analysis
+configuration, that each recorded fact is contained in the analysis
+result — the classic executable-soundness check.
+
+Semantics notes (total, deterministic, and deliberately simple so the
+oracle itself is obviously right):
+
+* statements run in order; there is no control flow in the language;
+* ``throw x`` records ``x`` at the current method's exceptional exit
+  and *continues* (the analysis is flow-insensitive, so an aborting
+  semantics would under-drive later statements; with the continuing
+  semantics every recorded fact is still a genuine dataflow the
+  analysis must cover);
+* exceptional exits propagate to callers when a call returns;
+* ``x = catch (T)`` binds an arbitrary (first-thrown) matching object
+  from the current method's exceptional exit, if any;
+* a failed cast records the site and leaves the target unbound;
+* loads/calls on ``null`` (unbound variables) are skipped;
+* recursion is bounded by ``max_depth``/``max_steps``; hitting a bound
+  stops execution cleanly — the partial trace remains valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.program import Method, Program
+from repro.ir.statements import (
+    AssignNull,
+    Cast,
+    Catch,
+    Copy,
+    Invoke,
+    Load,
+    New,
+    Return,
+    StaticInvoke,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Throw,
+)
+
+__all__ = ["ConcreteObject", "ExecutionTrace", "Interpreter", "interpret"]
+
+
+@dataclass(frozen=True)
+class ConcreteObject:
+    """A runtime object: unique identity, its class, and its birth site."""
+
+    oid: int
+    class_name: str
+    site: int
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name}#{self.oid}@site{self.site}>"
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything the oracle compares against the analysis."""
+
+    #: (method qualified name, var) -> sites of all objects ever bound
+    var_bindings: Dict[Tuple[str, str], Set[int]] = field(default_factory=dict)
+    #: (call site, callee qualified name)
+    call_edges: Set[Tuple[int, str]] = field(default_factory=set)
+    #: (base site, field name, stored site)
+    heap_stores: Set[Tuple[int, str, int]] = field(default_factory=set)
+    #: cast sites observed to fail at runtime
+    failed_casts: Set[int] = field(default_factory=set)
+    #: method qualified name -> sites of exceptions at its exceptional exit
+    exceptions: Dict[str, Set[int]] = field(default_factory=dict)
+    #: methods actually executed
+    executed_methods: Set[str] = field(default_factory=set)
+    #: True when a depth/step bound stopped execution early
+    truncated: bool = False
+
+    def bind(self, method: str, var: str, obj: ConcreteObject) -> None:
+        self.var_bindings.setdefault((method, var), set()).add(obj.site)
+
+    def record_exception(self, method: str, obj: ConcreteObject) -> None:
+        self.exceptions.setdefault(method, set()).add(obj.site)
+
+
+class _Bounds:
+    __slots__ = ("depth", "steps", "max_depth", "max_steps", "exceeded")
+
+    def __init__(self, max_depth: int, max_steps: int) -> None:
+        self.depth = 0
+        self.steps = 0
+        self.max_depth = max_depth
+        self.max_steps = max_steps
+        self.exceeded = False
+
+    def step(self) -> bool:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            self.exceeded = True
+        return not self.exceeded
+
+
+class Interpreter:
+    """One execution of a program from ``main``."""
+
+    def __init__(self, program: Program, max_depth: int = 60,
+                 max_steps: int = 200_000) -> None:
+        if program.entry is None:
+            raise ValueError("program has no entry method")
+        self.program = program
+        self.trace = ExecutionTrace()
+        self._bounds = _Bounds(max_depth, max_steps)
+        self._heap: Dict[int, Dict[str, ConcreteObject]] = {}
+        self._statics: Dict[Tuple[str, str], ConcreteObject] = {}
+        self._next_oid = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionTrace:
+        thrown: List[ConcreteObject] = []
+        self._execute(self.program.entry, {}, thrown)
+        self.trace.truncated = self._bounds.exceeded
+        return self.trace
+
+    # ------------------------------------------------------------------
+    def _allocate(self, class_name: str, site: int) -> ConcreteObject:
+        self._next_oid += 1
+        obj = ConcreteObject(self._next_oid, class_name, site)
+        self._heap[obj.oid] = {}
+        return obj
+
+    def _is_subtype(self, sub: str, sup: str) -> bool:
+        hierarchy = self.program.hierarchy
+        if sub not in hierarchy or sup not in hierarchy:
+            return False
+        return hierarchy.is_subtype(hierarchy.get(sub), hierarchy.get(sup))
+
+    def _execute(self, method: Method, env: Dict[str, ConcreteObject],
+                 thrown: List[ConcreteObject]) -> Optional[ConcreteObject]:
+        """Run one activation; ``thrown`` is the caller-visible list of
+        exceptions reaching this activation's exceptional exit."""
+        bounds = self._bounds
+        if bounds.exceeded or bounds.depth >= bounds.max_depth:
+            bounds.exceeded = True
+            return None
+        bounds.depth += 1
+        qname = method.qualified_name
+        self.trace.executed_methods.add(qname)
+        for var, obj in env.items():
+            self.trace.bind(qname, var, obj)
+        result: Optional[ConcreteObject] = None
+        for stmt in method.statements:
+            if not bounds.step():
+                break
+            self._execute_statement(stmt, method, env, thrown)
+            if isinstance(stmt, Return):
+                value = env.get(stmt.source)
+                if value is not None and result is None:
+                    result = value
+        bounds.depth -= 1
+        return result
+
+    def _execute_statement(self, stmt, method: Method,
+                           env: Dict[str, ConcreteObject],
+                           thrown: List[ConcreteObject]) -> None:
+        qname = method.qualified_name
+        trace = self.trace
+        if isinstance(stmt, New):
+            obj = self._allocate(stmt.class_name, stmt.site)
+            env[stmt.target] = obj
+            trace.bind(qname, stmt.target, obj)
+        elif isinstance(stmt, Copy):
+            value = env.get(stmt.source)
+            if value is not None:
+                env[stmt.target] = value
+                trace.bind(qname, stmt.target, value)
+        elif isinstance(stmt, AssignNull):
+            env.pop(stmt.target, None)
+        elif isinstance(stmt, Store):
+            base = env.get(stmt.base)
+            value = env.get(stmt.source)
+            if base is not None and value is not None:
+                self._heap[base.oid][stmt.field_name] = value
+                trace.heap_stores.add((base.site, stmt.field_name, value.site))
+        elif isinstance(stmt, Load):
+            base = env.get(stmt.base)
+            if base is not None:
+                value = self._heap[base.oid].get(stmt.field_name)
+                if value is not None:
+                    env[stmt.target] = value
+                    trace.bind(qname, stmt.target, value)
+        elif isinstance(stmt, StaticStore):
+            value = env.get(stmt.source)
+            if value is not None:
+                self._statics[(stmt.class_name, stmt.field_name)] = value
+        elif isinstance(stmt, StaticLoad):
+            value = self._statics.get((stmt.class_name, stmt.field_name))
+            if value is not None:
+                env[stmt.target] = value
+                trace.bind(qname, stmt.target, value)
+        elif isinstance(stmt, Cast):
+            value = env.get(stmt.source)
+            if value is None:
+                return
+            if self._is_subtype(value.class_name, stmt.class_name):
+                env[stmt.target] = value
+                trace.bind(qname, stmt.target, value)
+            else:
+                trace.failed_casts.add(stmt.cast_site)
+        elif isinstance(stmt, Throw):
+            value = env.get(stmt.source)
+            if value is not None:
+                thrown.append(value)
+                trace.record_exception(qname, value)
+        elif isinstance(stmt, Catch):
+            for candidate in thrown:
+                if self._is_subtype(candidate.class_name, stmt.class_name):
+                    env[stmt.target] = candidate
+                    trace.bind(qname, stmt.target, candidate)
+                    break
+        elif isinstance(stmt, Invoke):
+            receiver = env.get(stmt.base)
+            if receiver is None:
+                return
+            callee = self.program.dispatch(receiver.class_name,
+                                           stmt.method_name)
+            if callee is None or len(callee.params) != len(stmt.args):
+                return
+            trace.call_edges.add((stmt.call_site, callee.qualified_name))
+            callee_env: Dict[str, ConcreteObject] = {"this": receiver}
+            for param, arg in zip(callee.params, stmt.args):
+                value = env.get(arg)
+                if value is not None:
+                    callee_env[param] = value
+            callee_thrown: List[ConcreteObject] = []
+            result = self._execute(callee, callee_env, callee_thrown)
+            for exc in callee_thrown:
+                thrown.append(exc)
+                trace.record_exception(qname, exc)
+            if stmt.target is not None and result is not None:
+                env[stmt.target] = result
+                trace.bind(qname, stmt.target, result)
+        elif isinstance(stmt, StaticInvoke):
+            callee = self.program.static_method(stmt.class_name,
+                                                stmt.method_name)
+            if callee is None or len(callee.params) != len(stmt.args):
+                return
+            trace.call_edges.add((stmt.call_site, callee.qualified_name))
+            callee_env = {}
+            for param, arg in zip(callee.params, stmt.args):
+                value = env.get(arg)
+                if value is not None:
+                    callee_env[param] = value
+            callee_thrown = []
+            result = self._execute(callee, callee_env, callee_thrown)
+            for exc in callee_thrown:
+                thrown.append(exc)
+                trace.record_exception(qname, exc)
+            if stmt.target is not None and result is not None:
+                env[stmt.target] = result
+                trace.bind(qname, stmt.target, result)
+
+
+def interpret(program: Program, max_depth: int = 60,
+              max_steps: int = 200_000) -> ExecutionTrace:
+    """Execute ``program`` and return its trace."""
+    return Interpreter(program, max_depth, max_steps).run()

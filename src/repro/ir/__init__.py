@@ -1,0 +1,61 @@
+"""Mini-Java intermediate representation.
+
+The IR is the substrate every analysis in this package consumes: a
+single-inheritance class hierarchy (:mod:`repro.ir.types`), program /
+class / method containers (:mod:`repro.ir.program`), three-address
+statements (:mod:`repro.ir.statements`), a fluent construction API
+(:mod:`repro.ir.builder`), a pretty printer (:mod:`repro.ir.printer`) and
+well-formedness validation (:mod:`repro.ir.validate`).
+"""
+
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+from repro.ir.printer import print_method, print_program
+from repro.ir.program import MAIN_CLASS_NAME, ClassDecl, FieldDecl, Method, Program
+from repro.ir.statements import (
+    AssignNull,
+    Cast,
+    Copy,
+    Invoke,
+    Load,
+    New,
+    Return,
+    StaticInvoke,
+    StaticLoad,
+    StaticStore,
+    Statement,
+    Store,
+)
+from repro.ir.types import ERROR_TYPE, NULL_TYPE, OBJECT_CLASS_NAME, ClassType, TypeHierarchy
+from repro.ir.validate import ValidationError, ensure_valid, validate
+
+__all__ = [
+    "ProgramBuilder",
+    "MethodBuilder",
+    "Program",
+    "ClassDecl",
+    "FieldDecl",
+    "Method",
+    "MAIN_CLASS_NAME",
+    "Statement",
+    "New",
+    "Copy",
+    "Load",
+    "Store",
+    "StaticLoad",
+    "StaticStore",
+    "Invoke",
+    "StaticInvoke",
+    "Cast",
+    "Return",
+    "AssignNull",
+    "ClassType",
+    "TypeHierarchy",
+    "NULL_TYPE",
+    "ERROR_TYPE",
+    "OBJECT_CLASS_NAME",
+    "print_program",
+    "print_method",
+    "validate",
+    "ensure_valid",
+    "ValidationError",
+]

@@ -1,0 +1,273 @@
+"""Programmatic construction of IR programs.
+
+:class:`ProgramBuilder` is the main authoring API for tests, examples and
+the workload generator.  It assigns globally unique allocation- and
+call-site ids, checks structural well-formedness eagerly where cheap, and
+defers the full semantic check to :func:`repro.ir.validate.validate`.
+
+Typical use::
+
+    b = ProgramBuilder()
+    b.add_class("A")
+    b.add_field("A", "f", "A")
+    with b.method("A", "foo", params=("x",)) as m:
+        m.store("this", "f", "x")
+        m.ret("x")
+    with b.main() as m:
+        a = m.new("A")
+        m.invoke(a, "foo", a, target="r")
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.program import (
+    MAIN_CLASS_NAME,
+    ClassDecl,
+    FieldDecl,
+    Method,
+    Program,
+)
+from repro.ir.statements import (
+    AssignNull,
+    Cast,
+    Catch,
+    Copy,
+    Invoke,
+    Load,
+    New,
+    Return,
+    StaticInvoke,
+    StaticLoad,
+    StaticStore,
+    Statement,
+    Store,
+    Throw,
+)
+from repro.ir.types import OBJECT_CLASS_NAME, TypeHierarchy
+
+__all__ = ["ProgramBuilder", "MethodBuilder"]
+
+
+class MethodBuilder:
+    """Accumulates statements for one method.
+
+    Every statement-emitting call returns the *target variable name* (or
+    ``None``), which makes chained construction read naturally::
+
+        box = m.new("Box")
+        m.store(box, "elem", m.new("Item"))
+    """
+
+    def __init__(self, program_builder: "ProgramBuilder", class_name: str,
+                 name: str, params: Tuple[str, ...], is_static: bool) -> None:
+        self._pb = program_builder
+        self._class_name = class_name
+        self._name = name
+        self._params = params
+        self._is_static = is_static
+        self._statements: List[Statement] = []
+        self._temp_counter = 0
+
+    # -- context manager protocol -------------------------------------
+    def __enter__(self) -> "MethodBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._pb._finish_method(
+                self._class_name, self._name, self._params,
+                self._statements, self._is_static,
+            )
+
+    # -- statement emitters --------------------------------------------
+    def fresh_var(self, prefix: str = "t") -> str:
+        """A method-locally fresh temporary variable name."""
+        self._temp_counter += 1
+        return f"{prefix}{self._temp_counter}"
+
+    def new(self, class_name: str, target: Optional[str] = None) -> str:
+        """Emit ``target = new class_name()``; returns the target name."""
+        if target is None:
+            target = self.fresh_var()
+        site = self._pb._next_alloc_site()
+        self._statements.append(New(target, class_name, site))
+        return target
+
+    def new_at(self, class_name: str, target: str) -> int:
+        """Like :meth:`new` but returns the allocation-site id instead."""
+        site = self._pb._next_alloc_site()
+        self._statements.append(New(target, class_name, site))
+        return site
+
+    def copy(self, target: str, source: str) -> str:
+        self._statements.append(Copy(target, source))
+        return target
+
+    def load(self, base: str, field_name: str, target: Optional[str] = None) -> str:
+        if target is None:
+            target = self.fresh_var()
+        self._statements.append(Load(target, base, field_name))
+        return target
+
+    def store(self, base: str, field_name: str, source: str) -> None:
+        self._statements.append(Store(base, field_name, source))
+
+    def static_load(self, class_name: str, field_name: str,
+                    target: Optional[str] = None) -> str:
+        if target is None:
+            target = self.fresh_var()
+        self._statements.append(StaticLoad(target, class_name, field_name))
+        return target
+
+    def static_store(self, class_name: str, field_name: str, source: str) -> None:
+        self._statements.append(StaticStore(class_name, field_name, source))
+
+    def invoke(self, base: str, method_name: str, *args: str,
+               target: Optional[str] = None) -> Optional[str]:
+        """Emit a virtual call; returns the (possibly ``None``) target."""
+        call_site = self._pb._next_call_site()
+        self._statements.append(
+            Invoke(target, base, method_name, tuple(args), call_site)
+        )
+        return target
+
+    def invoke_site(self, base: str, method_name: str, *args: str,
+                    target: Optional[str] = None) -> int:
+        """Like :meth:`invoke` but returns the call-site id."""
+        call_site = self._pb._next_call_site()
+        self._statements.append(
+            Invoke(target, base, method_name, tuple(args), call_site)
+        )
+        return call_site
+
+    def static_invoke(self, class_name: str, method_name: str, *args: str,
+                      target: Optional[str] = None) -> Optional[str]:
+        call_site = self._pb._next_call_site()
+        self._statements.append(
+            StaticInvoke(target, class_name, method_name, tuple(args), call_site)
+        )
+        return target
+
+    def cast(self, class_name: str, source: str,
+             target: Optional[str] = None) -> str:
+        if target is None:
+            target = self.fresh_var()
+        cast_site = self._pb._next_cast_site()
+        self._statements.append(Cast(target, class_name, source, cast_site))
+        return target
+
+    def cast_site(self, class_name: str, source: str, target: str) -> int:
+        """Like :meth:`cast` but returns the cast-site id."""
+        cast_site = self._pb._next_cast_site()
+        self._statements.append(Cast(target, class_name, source, cast_site))
+        return cast_site
+
+    def ret(self, source: str) -> None:
+        self._statements.append(Return(source))
+
+    def throw(self, source: str) -> None:
+        self._statements.append(Throw(source))
+
+    def catch(self, class_name: str, target: Optional[str] = None) -> str:
+        if target is None:
+            target = self.fresh_var("e")
+        self._statements.append(Catch(target, class_name))
+        return target
+
+    def assign_null(self, target: str) -> str:
+        self._statements.append(AssignNull(target))
+        return target
+
+    def raw(self, stmt: Statement) -> None:
+        """Append a pre-built statement (site ids must come from this
+        builder to stay unique)."""
+        self._statements.append(stmt)
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.ir.program.Program` incrementally."""
+
+    def __init__(self) -> None:
+        self._hierarchy = TypeHierarchy()
+        self._program = Program(self._hierarchy)
+        self._alloc_counter = 0
+        self._call_counter = 0
+        self._cast_counter = 0
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def add_class(self, name: str, superclass: Optional[str] = None) -> None:
+        """Declare a class (superclass defaults to ``Object``)."""
+        cls_type = self._hierarchy.add_class(name, superclass)
+        if name not in self._program.classes:
+            self._program.add_class(ClassDecl(cls_type))
+
+    def add_field(self, class_name: str, field_name: str, declared_type: str,
+                  is_static: bool = False) -> None:
+        self._program.get_class(class_name).add_field(
+            FieldDecl(field_name, declared_type, is_static)
+        )
+
+    def add_array_class(self, name: str, element_type: str = OBJECT_CLASS_NAME) -> None:
+        """Declare an array as a class with a single ``elem`` field,
+        mirroring how Doop abstracts arrays (one merged index)."""
+        self.add_class(name)
+        self.add_field(name, "elem", element_type)
+
+    def has_class(self, name: str) -> bool:
+        """True when ``name`` was already declared on this builder."""
+        return name in self._program.classes
+
+    def method(self, class_name: str, name: str,
+               params: Sequence[str] = (), static: bool = False) -> MethodBuilder:
+        """Open a method body; use as a context manager."""
+        if class_name not in self._program.classes:
+            raise ValueError(f"class {class_name!r} not declared")
+        return MethodBuilder(self, class_name, name, tuple(params), static)
+
+    def main(self) -> MethodBuilder:
+        """Open the program entry point ``<Main>.main``."""
+        return MethodBuilder(self, MAIN_CLASS_NAME, "main", (), True)
+
+    # ------------------------------------------------------------------
+    # Finishing
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalize and return the program (idempotent-safe: once only)."""
+        if self._built:
+            raise RuntimeError("build() already called")
+        if self._program.entry is None:
+            raise ValueError("program has no main method; use builder.main()")
+        self._program.finalize()
+        self._built = True
+        return self._program
+
+    # ------------------------------------------------------------------
+    # Internal plumbing used by MethodBuilder
+    # ------------------------------------------------------------------
+    def _next_alloc_site(self) -> int:
+        self._alloc_counter += 1
+        return self._alloc_counter
+
+    def _next_call_site(self) -> int:
+        self._call_counter += 1
+        return self._call_counter
+
+    def _next_cast_site(self) -> int:
+        self._cast_counter += 1
+        return self._cast_counter
+
+    def _finish_method(self, class_name: str, name: str, params: Tuple[str, ...],
+                       statements: List[Statement], is_static: bool) -> None:
+        method = Method(class_name, name, params, statements, is_static)
+        if class_name == MAIN_CLASS_NAME and name == "main":
+            if self._program.entry is not None:
+                raise ValueError("main method already defined")
+            self._program.set_entry(method)
+        else:
+            self._program.get_class(class_name).add_method(method)

@@ -1,0 +1,226 @@
+"""Three-address statements of the mini-Java IR.
+
+The statement set is exactly what a flow-insensitive, field-sensitive
+points-to analysis consumes (the same statement kinds Doop extracts from
+Jimple):
+
+========================  =====================================
+``x = new T()``           :class:`New` (one allocation site each)
+``x = y``                 :class:`Copy`
+``x = y.f``               :class:`Load`
+``x.f = y``               :class:`Store`
+``x = T.sf``              :class:`StaticLoad`
+``T.sf = x``              :class:`StaticStore`
+``x = y.m(a, ...)``       :class:`Invoke` (virtual dispatch)
+``x = T.m(a, ...)``       :class:`StaticInvoke`
+``x = (T) y``             :class:`Cast`
+``return x``              :class:`Return`
+``x = null``              :class:`AssignNull`
+========================  =====================================
+
+Statements are immutable value objects; a method owns an ordered list of
+them (order is irrelevant to the analysis but preserved for printing).
+Allocation sites are identified by the :class:`New` statement's ``site``
+attribute, a globally unique integer assigned by the program builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "Statement",
+    "New",
+    "Copy",
+    "Load",
+    "Store",
+    "StaticLoad",
+    "StaticStore",
+    "Invoke",
+    "StaticInvoke",
+    "Cast",
+    "Return",
+    "AssignNull",
+    "Throw",
+    "Catch",
+]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for all IR statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class New(Statement):
+    """``target = new class_name()`` at allocation site ``site``."""
+
+    target: str
+    class_name: str
+    site: int
+
+    def __str__(self) -> str:
+        return f"{self.target} = new {self.class_name}();  // site {self.site}"
+
+
+@dataclass(frozen=True)
+class Copy(Statement):
+    """``target = source``."""
+
+    target: str
+    source: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.source};"
+
+
+@dataclass(frozen=True)
+class Load(Statement):
+    """``target = base.field_name``."""
+
+    target: str
+    base: str
+    field_name: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.base}.{self.field_name};"
+
+
+@dataclass(frozen=True)
+class Store(Statement):
+    """``base.field_name = source``."""
+
+    base: str
+    field_name: str
+    source: str
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field_name} = {self.source};"
+
+
+@dataclass(frozen=True)
+class StaticLoad(Statement):
+    """``target = class_name.field_name`` (static field read)."""
+
+    target: str
+    class_name: str
+    field_name: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.class_name}.{self.field_name};"
+
+
+@dataclass(frozen=True)
+class StaticStore(Statement):
+    """``class_name.field_name = source`` (static field write)."""
+
+    class_name: str
+    field_name: str
+    source: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.{self.field_name} = {self.source};"
+
+
+@dataclass(frozen=True)
+class Invoke(Statement):
+    """``target = base.method_name(args...)`` — virtual dispatch call.
+
+    ``target`` may be ``None`` when the result is discarded.  ``call_site``
+    is a globally unique integer identifying this call site (used as a
+    context element by call-site-sensitivity and as the key for call-graph
+    and devirtualization clients).
+    """
+
+    target: Optional[str]
+    base: str
+    method_name: str
+    args: Tuple[str, ...]
+    call_site: int
+
+    def __str__(self) -> str:
+        call = f"{self.base}.{self.method_name}({', '.join(self.args)})"
+        prefix = f"{self.target} = " if self.target is not None else ""
+        return f"{prefix}{call};  // call site {self.call_site}"
+
+
+@dataclass(frozen=True)
+class StaticInvoke(Statement):
+    """``target = class_name.method_name(args...)`` — static call."""
+
+    target: Optional[str]
+    class_name: str
+    method_name: str
+    args: Tuple[str, ...]
+    call_site: int
+
+    def __str__(self) -> str:
+        call = f"{self.class_name}.{self.method_name}({', '.join(self.args)})"
+        prefix = f"{self.target} = " if self.target is not None else ""
+        return f"{prefix}{call};  // call site {self.call_site}"
+
+
+@dataclass(frozen=True)
+class Cast(Statement):
+    """``target = (class_name) source`` at cast site ``cast_site``."""
+
+    target: str
+    class_name: str
+    source: str
+    cast_site: int = field(default=-1)
+
+    def __str__(self) -> str:
+        return f"{self.target} = ({self.class_name}) {self.source};"
+
+
+@dataclass(frozen=True)
+class Return(Statement):
+    """``return source``."""
+
+    source: str
+
+    def __str__(self) -> str:
+        return f"return {self.source};"
+
+
+@dataclass(frozen=True)
+class AssignNull(Statement):
+    """``target = null`` — relevant to the null-field problem (§3.6.2)."""
+
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = null;"
+
+
+@dataclass(frozen=True)
+class Throw(Statement):
+    """``throw source`` — the object flows to the method's exceptional
+    exit and propagates to callers (flow-insensitively)."""
+
+    source: str
+
+    def __str__(self) -> str:
+        return f"throw {self.source};"
+
+
+@dataclass(frozen=True)
+class Catch(Statement):
+    """``target = catch (class_name)`` — of the exceptions reaching this
+    method (its own throws plus everything propagating out of its
+    callees), those whose class is a subtype of ``class_name`` flow to
+    ``target``.
+
+    This is the standard flow-insensitive approximation of try/catch:
+    catching does not stop propagation (a sound over-approximation, as
+    the analysis cannot see block structure).
+    """
+
+    target: str
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = catch ({self.class_name});"

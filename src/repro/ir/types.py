@@ -1,0 +1,202 @@
+"""Class types and the type hierarchy of the mini-Java IR.
+
+The IR models a single-inheritance object-oriented language (a Java
+subset).  Every reference value has a class type; the hierarchy is rooted
+at ``Object``.  Arrays are modeled the way Doop models them: as ordinary
+classes with a distinguished ``elem`` field (see
+:func:`repro.ir.builder.ProgramBuilder.add_array_class`).
+
+Two special types live outside the user hierarchy:
+
+* :data:`NULL_TYPE` — the type of the dummy ``null`` object used in the
+  field points-to graph (Section 4.1 of the paper).
+* :data:`ERROR_TYPE` — the output of the implicit DFA error state
+  ``q_error`` (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "ClassType",
+    "TypeHierarchy",
+    "NULL_TYPE",
+    "ERROR_TYPE",
+    "OBJECT_CLASS_NAME",
+]
+
+OBJECT_CLASS_NAME = "Object"
+
+
+class ClassType:
+    """A class type, identified by name, with at most one superclass.
+
+    Instances are created and owned by a :class:`TypeHierarchy`; identity
+    comparison is safe within one hierarchy, but ``__eq__`` compares by
+    name so types survive copying between program representations.
+    """
+
+    __slots__ = ("name", "superclass_name", "_hash")
+
+    def __init__(self, name: str, superclass_name: Optional[str]) -> None:
+        if not name:
+            raise ValueError("class type needs a non-empty name")
+        self.name = name
+        self.superclass_name = superclass_name
+        self._hash = hash(name)
+
+    def __repr__(self) -> str:
+        return f"ClassType({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ClassType):
+            return self.name == other.name
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, ClassType):
+            return self.name != other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+#: Type of the dummy null object in the field points-to graph.
+NULL_TYPE = ClassType("<null>", None)
+
+#: Type returned by the DFA error state for undefined transitions.
+ERROR_TYPE = ClassType("<error>", None)
+
+
+class TypeHierarchy:
+    """The single-inheritance class hierarchy of a program.
+
+    Provides the queries every other subsystem needs:
+
+    * :meth:`is_subtype` — reflexive subtype test (used by cast filtering
+      and the may-fail-cast client);
+    * :meth:`superclass_chain` — the path to the root, used by method
+      dispatch;
+    * :meth:`subtypes` — all (transitive, reflexive) subtypes of a class.
+
+    The hierarchy is append-only: classes are added once, with their
+    superclass already present (``Object`` is implicit).
+    """
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, ClassType] = {}
+        self._children: Dict[str, List[str]] = {}
+        # depth of each class in the inheritance tree; Object has depth 0.
+        self._depth: Dict[str, int] = {}
+        root = ClassType(OBJECT_CLASS_NAME, None)
+        self._classes[root.name] = root
+        self._children[root.name] = []
+        self._depth[root.name] = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_class(self, name: str, superclass_name: Optional[str] = None) -> ClassType:
+        """Register a class and return its :class:`ClassType`.
+
+        ``superclass_name`` defaults to ``Object``.  Re-adding an existing
+        class with the same superclass is a harmless no-op; re-adding it
+        with a different superclass raises ``ValueError``.
+        """
+        if superclass_name is None:
+            superclass_name = OBJECT_CLASS_NAME
+        if name == OBJECT_CLASS_NAME:
+            if superclass_name != OBJECT_CLASS_NAME:
+                raise ValueError("Object cannot have a superclass")
+            return self._classes[OBJECT_CLASS_NAME]
+        existing = self._classes.get(name)
+        if existing is not None:
+            if existing.superclass_name != superclass_name:
+                raise ValueError(
+                    f"class {name!r} already declared with superclass "
+                    f"{existing.superclass_name!r}, not {superclass_name!r}"
+                )
+            return existing
+        if superclass_name not in self._classes:
+            raise ValueError(
+                f"superclass {superclass_name!r} of {name!r} is not declared yet"
+            )
+        cls = ClassType(name, superclass_name)
+        self._classes[name] = cls
+        self._children[name] = []
+        self._children[superclass_name].append(name)
+        self._depth[name] = self._depth[superclass_name] + 1
+        return cls
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[ClassType]:
+        return iter(self._classes.values())
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def get(self, name: str) -> ClassType:
+        """Return the class named ``name``; raise ``KeyError`` if absent."""
+        return self._classes[name]
+
+    def superclass(self, cls: ClassType) -> Optional[ClassType]:
+        """Direct superclass of ``cls``, or ``None`` for ``Object``."""
+        if cls.superclass_name is None:
+            return None
+        return self._classes[cls.superclass_name]
+
+    def superclass_chain(self, cls: ClassType) -> List[ClassType]:
+        """``[cls, super(cls), ..., Object]`` — the dispatch lookup order."""
+        chain = [cls]
+        current: Optional[ClassType] = cls
+        while current is not None and current.superclass_name is not None:
+            current = self._classes[current.superclass_name]
+            chain.append(current)
+        return chain
+
+    def is_subtype(self, sub: ClassType, sup: ClassType) -> bool:
+        """Reflexive subtype test: ``sub <: sup``.
+
+        The special :data:`NULL_TYPE` is a subtype of everything (a cast
+        of ``null`` never fails); :data:`ERROR_TYPE` is a subtype of
+        nothing but itself.
+        """
+        if sub is NULL_TYPE or sub.name == NULL_TYPE.name:
+            return True
+        if sub.name == sup.name:
+            return True
+        if sup.name == OBJECT_CLASS_NAME:
+            return sub.name in self._classes
+        depth_sub = self._depth.get(sub.name)
+        depth_sup = self._depth.get(sup.name)
+        if depth_sub is None or depth_sup is None or depth_sub <= depth_sup:
+            return False
+        current = sub
+        for _ in range(depth_sub - depth_sup):
+            assert current.superclass_name is not None
+            current = self._classes[current.superclass_name]
+        return current.name == sup.name
+
+    def subtypes(self, cls: ClassType) -> List[ClassType]:
+        """All reflexive-transitive subtypes of ``cls`` (preorder)."""
+        result: List[ClassType] = []
+        stack = [cls.name]
+        while stack:
+            name = stack.pop()
+            result.append(self._classes[name])
+            stack.extend(reversed(self._children[name]))
+        return result
+
+    def common_names(self) -> Iterable[str]:
+        """Names of all declared classes (including ``Object``)."""
+        return self._classes.keys()

@@ -1,0 +1,150 @@
+"""Semantic well-formedness checks for IR programs.
+
+The points-to solver assumes a handful of invariants (declared classes,
+resolvable field names, arity-consistent calls where statically knowable).
+:func:`validate` checks them all and returns a list of human-readable
+problems; :func:`ensure_valid` raises on the first batch.
+
+The checks deliberately mirror what a Java compiler would guarantee about
+bytecode, so that the solver never needs defensive branches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import Program
+from repro.ir.statements import (
+    Cast,
+    Catch,
+    Invoke,
+    Load,
+    New,
+    StaticInvoke,
+    StaticLoad,
+    StaticStore,
+    Store,
+)
+
+__all__ = ["validate", "ensure_valid", "ValidationError"]
+
+
+class ValidationError(ValueError):
+    """Raised by :func:`ensure_valid` for ill-formed programs."""
+
+
+def validate(program: Program) -> List[str]:
+    """Return all well-formedness problems found (empty when valid)."""
+    problems: List[str] = []
+    hierarchy = program.hierarchy
+
+    def check_class(name: str, where: str) -> None:
+        if name not in hierarchy:
+            problems.append(f"{where}: unknown class {name!r}")
+
+    if program.entry is None:
+        problems.append("program has no main method")
+
+    for method in program.all_methods():
+        where_base = method.qualified_name
+        assigned = set(method.params)
+        if not method.is_static:
+            assigned.add("this")
+        for stmt in method.statements:
+            where = f"{where_base}: {stmt}"
+            if isinstance(stmt, New):
+                check_class(stmt.class_name, where)
+                assigned.add(stmt.target)
+            elif isinstance(stmt, Catch):
+                check_class(stmt.class_name, where)
+                assigned.add(stmt.target)
+            elif isinstance(stmt, Cast):
+                check_class(stmt.class_name, where)
+                assigned.add(stmt.target)
+            elif isinstance(stmt, (Load, Store)):
+                field_name = stmt.field_name
+                # Field names are only checkable per-class at runtime types;
+                # statically we just require the name to exist *somewhere*.
+                if not _field_exists(program, field_name):
+                    problems.append(f"{where}: field {field_name!r} never declared")
+                if isinstance(stmt, Load):
+                    assigned.add(stmt.target)
+            elif isinstance(stmt, StaticLoad):
+                check_class(stmt.class_name, where)
+                if not _static_field_exists(program, stmt.class_name, stmt.field_name):
+                    problems.append(
+                        f"{where}: static field "
+                        f"{stmt.class_name}.{stmt.field_name} not declared"
+                    )
+                assigned.add(stmt.target)
+            elif isinstance(stmt, StaticStore):
+                check_class(stmt.class_name, where)
+                if not _static_field_exists(program, stmt.class_name, stmt.field_name):
+                    problems.append(
+                        f"{where}: static field "
+                        f"{stmt.class_name}.{stmt.field_name} not declared"
+                    )
+            elif isinstance(stmt, StaticInvoke):
+                check_class(stmt.class_name, where)
+                callee = program.static_method(stmt.class_name, stmt.method_name)
+                if callee is None:
+                    problems.append(
+                        f"{where}: static method "
+                        f"{stmt.class_name}.{stmt.method_name} not declared"
+                    )
+                elif len(callee.params) != len(stmt.args):
+                    problems.append(
+                        f"{where}: arity mismatch calling {callee.qualified_name} "
+                        f"({len(stmt.args)} args, {len(callee.params)} params)"
+                    )
+                if stmt.target is not None:
+                    assigned.add(stmt.target)
+            elif isinstance(stmt, Invoke):
+                # Dispatch target depends on runtime type; check only that
+                # *some* class declares the method with matching arity.
+                if not _virtual_method_exists(program, stmt.method_name, len(stmt.args)):
+                    problems.append(
+                        f"{where}: no class declares instance method "
+                        f"{stmt.method_name!r} with {len(stmt.args)} params"
+                    )
+                if stmt.target is not None:
+                    assigned.add(stmt.target)
+            else:
+                target = getattr(stmt, "target", None)
+                if target is not None:
+                    assigned.add(target)
+    return problems
+
+
+def ensure_valid(program: Program) -> Program:
+    """Raise :class:`ValidationError` if ``program`` is ill-formed."""
+    problems = validate(program)
+    if problems:
+        preview = "\n  ".join(problems[:20])
+        suffix = "" if len(problems) <= 20 else f"\n  ... and {len(problems) - 20} more"
+        raise ValidationError(f"invalid program:\n  {preview}{suffix}")
+    return program
+
+
+def _field_exists(program: Program, field_name: str) -> bool:
+    return any(
+        field_name in decl.fields and not decl.fields[field_name].is_static
+        for decl in program.classes.values()
+    )
+
+
+def _static_field_exists(program: Program, class_name: str, field_name: str) -> bool:
+    decl = program.classes.get(class_name)
+    if decl is None:
+        return False
+    fdecl = decl.fields.get(field_name)
+    return fdecl is not None and fdecl.is_static
+
+
+def _virtual_method_exists(program: Program, method_name: str, arity: int) -> bool:
+    return any(
+        method_name in decl.methods
+        and not decl.methods[method_name].is_static
+        and len(decl.methods[method_name].params) == arity
+        for decl in program.classes.values()
+    )

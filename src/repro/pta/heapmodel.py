@@ -1,0 +1,146 @@
+"""Heap abstractions: how allocation sites become abstract objects.
+
+Every abstraction maps an allocation site to a *site key* plus a flag
+saying whether the resulting object must be modeled context-insensitively
+(merged objects are, per Section 3.6 of the paper):
+
+* :class:`AllocationSiteAbstraction` — the conventional one-object-per-
+  site model (the paper's baseline ``A``);
+* :class:`AllocationTypeAbstraction` — the naive one-object-per-type
+  model of Section 2.1 (the paper's ``T-A``);
+* :class:`MahjongAbstraction` — the merged-object-map produced by
+  :func:`repro.core.merging.build_heap_abstraction` (the paper's ``M-A``).
+
+The site key doubles as the identity used when the object appears as a
+context element, which is exactly how Section 3.6.1's "replace a merged
+object by its representative" rule falls out for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.ir.program import Program
+
+__all__ = [
+    "HeapModel",
+    "AllocationSiteAbstraction",
+    "AllocationTypeAbstraction",
+    "MahjongAbstraction",
+]
+
+
+class HeapModel:
+    """Strategy interface mapping allocation sites to abstract objects."""
+
+    #: short name used in analysis configuration strings
+    name = "abstract"
+
+    def site_key(self, site: int, class_name: str) -> object:
+        """Identity of the abstract object allocated at ``site``."""
+        raise NotImplementedError
+
+    def is_merged(self, site: int, class_name: str) -> bool:
+        """True when the object must be modeled context-insensitively."""
+        raise NotImplementedError
+
+    def containing_class(self, site: int, class_name: str,
+                         program: Program) -> str:
+        """The class whose method contains the (representative) site —
+        the context element used by type-sensitivity."""
+        raise NotImplementedError
+
+    def object_count_upper_bound(self) -> Optional[int]:
+        """Number of distinct site keys, when statically known."""
+        return None
+
+
+class AllocationSiteAbstraction(HeapModel):
+    """One abstract object per allocation site."""
+
+    name = "alloc-site"
+
+    def site_key(self, site: int, class_name: str) -> object:
+        return site
+
+    def is_merged(self, site: int, class_name: str) -> bool:
+        return False
+
+    def containing_class(self, site: int, class_name: str,
+                         program: Program) -> str:
+        return program.containing_class_of_site(site)
+
+
+class AllocationTypeAbstraction(HeapModel):
+    """One abstract object per class (Section 2.1's naive merging).
+
+    All same-type sites collapse to the key ``("type", T)``.  Objects
+    whose class has more than one allocation site are modeled context-
+    insensitively, matching how merged objects are handled in M-A; a
+    class with a single site behaves exactly like the allocation-site
+    abstraction.
+    """
+
+    name = "alloc-type"
+
+    def __init__(self, program: Program) -> None:
+        self._site_count_per_class: Dict[str, int] = {}
+        self._first_site_per_class: Dict[str, int] = {}
+        for site, stmt in sorted(program.alloc_sites().items()):
+            count = self._site_count_per_class.get(stmt.class_name, 0)
+            self._site_count_per_class[stmt.class_name] = count + 1
+            self._first_site_per_class.setdefault(stmt.class_name, site)
+
+    def site_key(self, site: int, class_name: str) -> object:
+        return ("type", class_name)
+
+    def is_merged(self, site: int, class_name: str) -> bool:
+        return self._site_count_per_class.get(class_name, 0) > 1
+
+    def containing_class(self, site: int, class_name: str,
+                         program: Program) -> str:
+        representative = self._first_site_per_class.get(class_name, site)
+        return program.containing_class_of_site(representative)
+
+    def object_count_upper_bound(self) -> Optional[int]:
+        return len(self._site_count_per_class)
+
+
+class MahjongAbstraction(HeapModel):
+    """The MAHJONG heap abstraction: a merged object map (MOM).
+
+    ``mom`` maps each allocation site to the representative site of its
+    type-consistency equivalence class (Definition 2.2 / Algorithm 1).
+    Sites absent from the map are their own representatives (e.g. sites
+    unreachable during the pre-analysis).
+    """
+
+    name = "mahjong"
+
+    def __init__(self, mom: Mapping[int, int]) -> None:
+        self.mom: Dict[int, int] = dict(mom)
+        # classes with >1 member are "merged" and go context-insensitive
+        sizes: Dict[int, int] = {}
+        for representative in self.mom.values():
+            sizes[representative] = sizes.get(representative, 0) + 1
+        self._class_size = sizes
+
+    def representative(self, site: int) -> int:
+        return self.mom.get(site, site)
+
+    def class_size(self, site: int) -> int:
+        """Number of sites merged into ``site``'s equivalence class."""
+        return self._class_size.get(self.representative(site), 1)
+
+    def site_key(self, site: int, class_name: str) -> object:
+        return self.representative(site)
+
+    def is_merged(self, site: int, class_name: str) -> bool:
+        return self.class_size(site) > 1
+
+    def containing_class(self, site: int, class_name: str,
+                         program: Program) -> str:
+        return program.containing_class_of_site(self.representative(site))
+
+    def object_count_upper_bound(self) -> Optional[int]:
+        return len(set(self.mom.values())) if self.mom else None

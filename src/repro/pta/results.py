@@ -1,0 +1,203 @@
+"""Query interface over a finished points-to solve.
+
+:class:`PointsToResult` snapshots the solver's interned state and exposes
+the views the rest of the system needs:
+
+* variable points-to sets (per-context or merged), for tests and clients;
+* field points-to facts, consumed by the FPG builder
+  (:mod:`repro.core.fpg`);
+* the (context-projected) call graph, virtual-call-site target sets, and
+  cast records, consumed by the type-dependent clients;
+* summary statistics for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.ir.program import Program
+from repro.pta.context import Context
+from repro.pta.solver import ObjectDescriptor, Solver
+
+__all__ = ["PointsToResult"]
+
+
+class PointsToResult:
+    """Immutable (by convention) view over a solved analysis."""
+
+    def __init__(self, solver: Solver) -> None:
+        self._solver = solver
+        self.program: Program = solver.program
+        self.selector_name: str = solver.selector.name
+        self.heap_model_name: str = solver.heap_model.name
+        self.solve_seconds: float = solver.solve_seconds
+        self.iterations: int = solver.iterations
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    @property
+    def object_count(self) -> int:
+        """Number of abstract objects (with heap contexts) created."""
+        return len(self._solver._object_site_key)
+
+    def object_class(self, obj: int) -> str:
+        return self._solver._object_class[obj]
+
+    def object_sites(self, obj: int) -> Set[int]:
+        """Concrete allocation sites abstracted by object ``obj``."""
+        return self._solver._object_alloc_sites[obj]
+
+    def object_site_key(self, obj: int) -> object:
+        return self._solver._object_site_key[obj]
+
+    def object_heap_context(self, obj: int) -> Context:
+        return self._solver._object_heap_ctx[obj]
+
+    def describe_object(self, obj: int) -> ObjectDescriptor:
+        s = self._solver
+        return ObjectDescriptor(
+            s._object_site_key[obj], s._object_heap_ctx[obj], s._object_class[obj]
+        )
+
+    def objects(self) -> Iterator[int]:
+        return iter(range(self.object_count))
+
+    # ------------------------------------------------------------------
+    # Variable points-to
+    # ------------------------------------------------------------------
+    def var_points_to(self, method_qualified_name: str, var: str,
+                      context: Optional[Context] = None) -> Set[ObjectDescriptor]:
+        """Points-to set of ``var`` in the named method.
+
+        With ``context=None`` the union over all contexts is returned.
+        """
+        objs = self.var_points_to_ids(method_qualified_name, var, context)
+        return {self.describe_object(o) for o in objs}
+
+    def var_points_to_ids(self, method_qualified_name: str, var: str,
+                          context: Optional[Context] = None) -> Set[int]:
+        """Like :meth:`var_points_to` but returns interned object ids."""
+        s = self._solver
+        result: Set[int] = set()
+        for node, (ctx, method, name) in s._var_meta.items():
+            if name != var or method.qualified_name != method_qualified_name:
+                continue
+            if context is not None and ctx != context:
+                continue
+            result |= s._pts[node]
+        return result
+
+    def exception_points_to(self, method_qualified_name: str,
+                            context: Optional[Context] = None) -> Set[int]:
+        """Objects reaching the method's exceptional exit (its own throws
+        plus everything propagating out of its callees), as interned
+        object ids; union over contexts unless one is given."""
+        s = self._solver
+        result: Set[int] = set()
+        for node, (ctx, method) in s._exc_meta.items():
+            if method.qualified_name != method_qualified_name:
+                continue
+            if context is not None and ctx != context:
+                continue
+            result |= s._pts[node]
+        return result
+
+    def contexts_of_method(self, method_qualified_name: str) -> Set[Context]:
+        s = self._solver
+        for mkey, method in s._method_by_id.items():
+            if method.qualified_name == method_qualified_name:
+                return set(s._reachable[mkey])
+        return set()
+
+    def total_context_count(self) -> int:
+        """Total (method, context) pairs analyzed — the cost driver that
+        MAHJONG cuts for object-sensitive analyses."""
+        return sum(len(ctxs) for ctxs in self._solver._reachable.values())
+
+    # ------------------------------------------------------------------
+    # Field points-to (FPG input)
+    # ------------------------------------------------------------------
+    def field_points_to(self) -> Iterator[Tuple[int, str, int]]:
+        """Yield ``(base_obj, field, pointee_obj)`` facts."""
+        s = self._solver
+        for key, node in s._node_ids.items():
+            if isinstance(key, tuple) and key and key[0] == 1:
+                _, base_obj, field = key
+                for pointee in s._pts[node]:
+                    yield base_obj, field, pointee
+
+    def fields_written(self, obj: int) -> Set[str]:
+        """Field names for which ``obj`` has a field node."""
+        s = self._solver
+        result: Set[str] = set()
+        for key in s._node_ids:
+            if isinstance(key, tuple) and key and key[0] == 1 and key[1] == obj:
+                result.add(key[2])
+        return result
+
+    # ------------------------------------------------------------------
+    # Call graph & clients
+    # ------------------------------------------------------------------
+    def reachable_methods(self) -> Set[str]:
+        return set(self._solver._reachable_methods)
+
+    def call_graph_edges(self) -> Set[Tuple[int, str]]:
+        """Context-insensitively projected edges
+        ``(call_site, callee_qualified_name)`` — the paper's
+        "#call graph edges" metric."""
+        return set(self._solver._cg_edges_proj)
+
+    def context_sensitive_edge_count(self) -> int:
+        return len(self._solver._cg_edges_ctx)
+
+    def call_site_targets(self) -> Dict[int, Set[str]]:
+        """Virtual-dispatch target sets per call site (static calls
+        excluded — they are trivially mono)."""
+        virtual = self._solver._virtual_sites_seen
+        result: Dict[int, Set[str]] = {site: set() for site in virtual}
+        for site, callee in self._solver._cg_edges_proj:
+            if site in virtual:
+                result[site].add(callee)
+        return result
+
+    def static_call_sites(self) -> Set[int]:
+        return set(self._solver._static_sites_seen)
+
+    def cast_records(self) -> Iterable[Tuple[int, str, Set[int]]]:
+        """Yield ``(cast_site, target_class, incoming objects)`` for every
+        reachable cast; the same cast site may appear once per context
+        (already unioned here)."""
+        s = self._solver
+        merged: Dict[Tuple[int, str], Set[int]] = {}
+        for cast_site, class_name, src_node in s._cast_records:
+            merged.setdefault((cast_site, class_name), set()).update(
+                s._pts[src_node]
+            )
+        for (cast_site, class_name), objs in sorted(
+            merged.items(), key=lambda item: item[0]
+        ):
+            yield cast_site, class_name, objs
+
+    def is_subtype(self, sub_class: str, sup_class: str) -> bool:
+        return self._solver._is_subtype_name(sub_class, sup_class)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        s = self._solver
+        return {
+            "selector": self.selector_name,
+            "heap_model": self.heap_model_name,
+            "solve_seconds": round(self.solve_seconds, 4),
+            "iterations": self.iterations,
+            "abstract_objects": self.object_count,
+            "nodes": len(s._pts),
+            "reachable_methods": len(s._reachable_methods),
+            "method_contexts": self.total_context_count(),
+            "call_graph_edges": len(s._cg_edges_proj),
+            "cs_call_graph_edges": len(s._cg_edges_ctx),
+            "pts_facts": sum(len(p) for p in s._pts),
+            **{f"count_{k}": v for k, v in s.counters.items()},
+        }

@@ -1,0 +1,532 @@
+"""Context-sensitive, field-sensitive Andersen-style points-to solver.
+
+This is the "allocation-site-based points-to analysis" substrate of the
+paper: the same algorithmic family Doop implements, as an explicit
+worklist propagation with on-the-fly call-graph construction.
+
+Design:
+
+* **Nodes** are interned integers.  A node is one of
+
+  - a variable node ``(context, method, var)``,
+  - an instance field node ``(abstract object, field)``,
+  - a static field node ``(class, field)``.
+
+* **Abstract objects** are interned integers identifying
+  ``(site_key, heap_context)`` pairs, where ``site_key`` comes from the
+  pluggable :class:`~repro.pta.heapmodel.HeapModel` — the only place the
+  allocation-site / allocation-type / MAHJONG abstractions differ.
+
+* **Pointer-flow edges** carry an optional cast filter: ``x = (T) y``
+  propagates only objects whose class is a subtype of ``T`` (Doop-style
+  cast filtering), which the may-fail-cast client piggybacks on.
+
+* **Context sensitivity** is a pluggable
+  :class:`~repro.pta.context.ContextSelector`; merged objects (MAHJONG,
+  allocation-type) are forced to the empty heap context here, per
+  Section 3.6 of the paper.
+
+The solver is deliberately flow-insensitive (statement order in a method
+body is irrelevant), matching the paper's setting.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.program import Method, Program
+from repro.ir.statements import (
+    Cast,
+    Catch,
+    Copy,
+    Invoke,
+    Load,
+    New,
+    Return,
+    StaticInvoke,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Throw,
+)
+from repro.pta.context import (
+    Context,
+    ContextInsensitive,
+    ContextSelector,
+    EMPTY_CONTEXT,
+    ReceiverInfo,
+    wants_type_elements,
+)
+from repro.pta.heapmodel import AllocationSiteAbstraction, HeapModel
+
+__all__ = ["Solver", "AnalysisTimeout", "solve", "ObjectDescriptor"]
+
+
+class AnalysisTimeout(Exception):
+    """Raised when the wall-clock budget is exhausted mid-solve."""
+
+    def __init__(self, budget_seconds: float, iterations: int) -> None:
+        super().__init__(
+            f"points-to analysis exceeded {budget_seconds:.1f}s "
+            f"after {iterations} worklist iterations"
+        )
+        self.budget_seconds = budget_seconds
+        self.iterations = iterations
+
+
+@dataclass(frozen=True)
+class ObjectDescriptor:
+    """User-facing description of an abstract object."""
+
+    site_key: object
+    heap_context: Context
+    class_name: str
+
+    def __str__(self) -> str:
+        ctx = "" if not self.heap_context else f" @{self.heap_context}"
+        return f"o{self.site_key}:{self.class_name}{ctx}"
+
+
+class _MethodInfo:
+    """Pre-indexed statements of one method (computed once, shared by all
+    contexts the method is analyzed under)."""
+
+    __slots__ = (
+        "allocs", "copies", "casts", "static_loads", "static_stores",
+        "static_invokes", "loads_by_base", "stores_by_base",
+        "invokes_by_base", "return_vars", "throws", "catches",
+    )
+
+    def __init__(self, method: Method) -> None:
+        self.allocs: List[New] = []
+        self.copies: List[Copy] = []
+        self.casts: List[Cast] = []
+        self.static_loads: List[StaticLoad] = []
+        self.static_stores: List[StaticStore] = []
+        self.static_invokes: List[StaticInvoke] = []
+        self.loads_by_base: Dict[str, List[Load]] = {}
+        self.stores_by_base: Dict[str, List[Store]] = {}
+        self.invokes_by_base: Dict[str, List[Invoke]] = {}
+        self.return_vars: Tuple[str, ...] = ()
+        self.throws: List[Throw] = []
+        self.catches: List[Catch] = []
+        returns: List[str] = []
+        for stmt in method.statements:
+            if isinstance(stmt, New):
+                self.allocs.append(stmt)
+            elif isinstance(stmt, Copy):
+                self.copies.append(stmt)
+            elif isinstance(stmt, Cast):
+                self.casts.append(stmt)
+            elif isinstance(stmt, StaticLoad):
+                self.static_loads.append(stmt)
+            elif isinstance(stmt, StaticStore):
+                self.static_stores.append(stmt)
+            elif isinstance(stmt, StaticInvoke):
+                self.static_invokes.append(stmt)
+            elif isinstance(stmt, Load):
+                self.loads_by_base.setdefault(stmt.base, []).append(stmt)
+            elif isinstance(stmt, Store):
+                self.stores_by_base.setdefault(stmt.base, []).append(stmt)
+            elif isinstance(stmt, Invoke):
+                self.invokes_by_base.setdefault(stmt.base, []).append(stmt)
+            elif isinstance(stmt, Return):
+                returns.append(stmt.source)
+            elif isinstance(stmt, Throw):
+                self.throws.append(stmt)
+            elif isinstance(stmt, Catch):
+                self.catches.append(stmt)
+        self.return_vars = tuple(returns)
+
+
+class Solver:
+    """One-shot points-to solve of a program.
+
+    Construct, call :meth:`solve`, inspect the returned
+    :class:`~repro.pta.results.PointsToResult`.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        selector: Optional[ContextSelector] = None,
+        heap_model: Optional[HeapModel] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> None:
+        if program.entry is None:
+            raise ValueError("program has no entry method")
+        self.program = program
+        self.selector = selector if selector is not None else ContextInsensitive()
+        self.heap_model = heap_model if heap_model is not None else AllocationSiteAbstraction()
+        self.timeout_seconds = timeout_seconds
+        self._type_elements = wants_type_elements(self.selector)
+        self._ci = isinstance(self.selector, ContextInsensitive)
+        hierarchy = program.hierarchy
+
+        # Subtype cache for cast filtering: (sub_name, sup_name) -> bool
+        self._subtype_cache: Dict[Tuple[str, str], bool] = {}
+        self._hierarchy = hierarchy
+
+        # --- interning tables ------------------------------------------
+        # objects: (site_key, heap_ctx) -> id
+        self._object_ids: Dict[Tuple[object, Context], int] = {}
+        self._object_site_key: List[object] = []
+        self._object_heap_ctx: List[Context] = []
+        self._object_class: List[str] = []
+        self._object_ctx_elem: List[object] = []
+        self._object_alloc_sites: List[Set[int]] = []  # provenance
+
+        # nodes: key -> id ; pts / succs indexed by id
+        self._node_ids: Dict[object, int] = {}
+        self._pts: List[Set[int]] = []
+        self._succs: List[List[Tuple[int, Optional[str]]]] = []
+        self._edge_seen: List[Set[Tuple[int, Optional[str]]]] = []
+        # var-node metadata for statement processing: id -> (ctx, method)
+        self._var_meta: Dict[int, Tuple[Context, Method, str]] = {}
+        # exception-node metadata: node id -> (ctx, method)
+        self._exc_meta: Dict[int, Tuple[Context, Method]] = {}
+
+        self._method_info: Dict[int, _MethodInfo] = {}  # id(method) keyed
+        self._reachable: Dict[int, Set[Context]] = {}   # id(method) -> ctxs
+        self._reachable_methods: Set[str] = set()
+        self._method_by_id: Dict[int, Method] = {}
+
+        # call graph
+        self._cg_edges_ctx: Set[Tuple[Context, int, Context, str]] = set()
+        self._cg_edges_proj: Set[Tuple[int, str]] = set()
+        self._virtual_sites_seen: Set[int] = set()
+        self._static_sites_seen: Set[int] = set()
+
+        # cast bookkeeping: (cast_site, class_name, source node id)
+        self._cast_records: Set[Tuple[int, str, int]] = set()
+
+        self._worklist: deque = deque()
+        self.iterations = 0
+        self.solve_seconds = 0.0
+        # instrumentation: where the propagation work went
+        self.counters: Dict[str, int] = {
+            "copy_edges": 0,
+            "filtered_edges": 0,
+            "load_edges": 0,
+            "store_edges": 0,
+            "dispatch_attempts": 0,
+            "facts_propagated": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self):
+        """Run to fixpoint and return a
+        :class:`~repro.pta.results.PointsToResult`."""
+        from repro.pta.results import PointsToResult
+
+        start = time.monotonic()
+        deadline = None
+        if self.timeout_seconds is not None:
+            deadline = start + self.timeout_seconds
+        self._add_reachable(EMPTY_CONTEXT, self.program.entry)
+        pop = self._worklist.popleft
+        worklist = self._worklist
+        pts = self._pts
+        succs = self._succs
+        while worklist:
+            self.iterations += 1
+            if deadline is not None and self.iterations % 256 == 0:
+                if time.monotonic() > deadline:
+                    self.solve_seconds = time.monotonic() - start
+                    raise AnalysisTimeout(self.timeout_seconds, self.iterations)
+            node, delta = pop()
+            known = pts[node]
+            delta = delta - known
+            if not delta:
+                continue
+            known |= delta
+            self.counters["facts_propagated"] += len(delta)
+            for succ, filter_class in succs[node]:
+                if filter_class is None:
+                    worklist.append((succ, delta))
+                else:
+                    filtered = {
+                        o for o in delta
+                        if self._is_subtype_name(self._object_class[o], filter_class)
+                    }
+                    if filtered:
+                        worklist.append((succ, filtered))
+            meta = self._var_meta.get(node)
+            if meta is not None:
+                self._process_var_delta(meta, delta)
+        self.solve_seconds = time.monotonic() - start
+        return PointsToResult(self)
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def _node(self, key: object) -> int:
+        node = self._node_ids.get(key)
+        if node is None:
+            node = len(self._pts)
+            self._node_ids[key] = node
+            self._pts.append(set())
+            self._succs.append([])
+            self._edge_seen.append(set())
+        return node
+
+    def _var_node(self, ctx: Context, method: Method, var: str) -> int:
+        key = (0, ctx, id(method), var)
+        node = self._node_ids.get(key)
+        if node is None:
+            node = self._node(key)
+            self._var_meta[node] = (ctx, method, var)
+        return node
+
+    def _exception_node(self, ctx: Context, method: Method) -> int:
+        """The method's exceptional-exit variable: thrown objects land
+        here and propagate to callers' exception nodes along call edges
+        (the flow-insensitive exceptional flow Doop models)."""
+        key = (3, ctx, id(method))
+        node = self._node_ids.get(key)
+        if node is None:
+            node = self._node(key)
+            self._exc_meta[node] = (ctx, method)
+        return node
+
+    def _field_node(self, obj: int, field: str) -> int:
+        return self._node((1, obj, field))
+
+    def _static_field_node(self, class_name: str, field: str) -> int:
+        return self._node((2, class_name, field))
+
+    def _object(self, site: int, class_name: str, method_ctx: Context) -> int:
+        """Intern the abstract object for an allocation."""
+        heap_model = self.heap_model
+        key = heap_model.site_key(site, class_name)
+        if self._ci or heap_model.is_merged(site, class_name):
+            hctx: Context = EMPTY_CONTEXT
+        else:
+            hctx = self.selector.select_heap(method_ctx, site)
+        obj = self._object_ids.get((key, hctx))
+        if obj is None:
+            obj = len(self._object_site_key)
+            self._object_ids[(key, hctx)] = obj
+            self._object_site_key.append(key)
+            self._object_heap_ctx.append(hctx)
+            self._object_class.append(class_name)
+            if self._type_elements:
+                # type-sensitivity: the class containing the allocation
+                # site (of the representative, for merged objects)
+                elem: object = heap_model.containing_class(
+                    site, class_name, self.program
+                )
+            else:
+                # object-sensitivity: the allocation site key — for
+                # merged objects this is the representative's site, which
+                # is Section 3.6.1's context-element replacement rule
+                elem = key
+            self._object_ctx_elem.append(elem)
+            self._object_alloc_sites.append({site})
+        else:
+            self._object_alloc_sites[obj].add(site)
+        return obj
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def _add_reachable(self, ctx: Context, method: Method) -> None:
+        mkey = id(method)
+        contexts = self._reachable.get(mkey)
+        if contexts is None:
+            contexts = set()
+            self._reachable[mkey] = contexts
+            self._method_info[mkey] = _MethodInfo(method)
+            self._method_by_id[mkey] = method
+            self._reachable_methods.add(method.qualified_name)
+        if ctx in contexts:
+            return
+        contexts.add(ctx)
+        info = self._method_info[mkey]
+        for stmt in info.allocs:
+            obj = self._object(stmt.site, stmt.class_name, ctx)
+            self._worklist.append((self._var_node(ctx, method, stmt.target), {obj}))
+        for stmt in info.copies:
+            self._add_edge(
+                self._var_node(ctx, method, stmt.source),
+                self._var_node(ctx, method, stmt.target),
+            )
+        for stmt in info.casts:
+            src = self._var_node(ctx, method, stmt.source)
+            self._add_edge(
+                src, self._var_node(ctx, method, stmt.target), stmt.class_name
+            )
+            self._cast_records.add((stmt.cast_site, stmt.class_name, src))
+        for stmt in info.static_loads:
+            self._add_edge(
+                self._static_field_node(stmt.class_name, stmt.field_name),
+                self._var_node(ctx, method, stmt.target),
+            )
+        for stmt in info.static_stores:
+            self._add_edge(
+                self._var_node(ctx, method, stmt.source),
+                self._static_field_node(stmt.class_name, stmt.field_name),
+            )
+        for stmt in info.throws:
+            self._add_edge(
+                self._var_node(ctx, method, stmt.source),
+                self._exception_node(ctx, method),
+            )
+        for stmt in info.catches:
+            self._add_edge(
+                self._exception_node(ctx, method),
+                self._var_node(ctx, method, stmt.target),
+                stmt.class_name,
+            )
+        for stmt in info.static_invokes:
+            self._process_static_invoke(ctx, method, stmt)
+        # Register reachable virtual call sites even before (or without)
+        # any receiver object arriving — a site whose receiver set stays
+        # empty is an *unresolved* dispatch, which the devirtualization
+        # client reports separately from mono/poly.
+        for invokes in info.invokes_by_base.values():
+            for stmt in invokes:
+                self._virtual_sites_seen.add(stmt.call_site)
+
+    # ------------------------------------------------------------------
+    # Edges and statement processing
+    # ------------------------------------------------------------------
+    def _add_edge(self, source: int, target: int,
+                  filter_class: Optional[str] = None) -> None:
+        edge = (target, filter_class)
+        seen = self._edge_seen[source]
+        if edge in seen:
+            return
+        seen.add(edge)
+        if filter_class is None:
+            self.counters["copy_edges"] += 1
+        else:
+            self.counters["filtered_edges"] += 1
+        self._succs[source].append(edge)
+        existing = self._pts[source]
+        if existing:
+            if filter_class is None:
+                self._worklist.append((target, set(existing)))
+            else:
+                filtered = {
+                    o for o in existing
+                    if self._is_subtype_name(self._object_class[o], filter_class)
+                }
+                if filtered:
+                    self._worklist.append((target, filtered))
+
+    def _process_var_delta(self, meta: Tuple[Context, Method, str],
+                           delta: Set[int]) -> None:
+        ctx, method, var = meta
+        info = self._method_info[id(method)]
+        loads = info.loads_by_base.get(var)
+        if loads:
+            for stmt in loads:
+                target = self._var_node(ctx, method, stmt.target)
+                for obj in delta:
+                    self.counters["load_edges"] += 1
+                    self._add_edge(self._field_node(obj, stmt.field_name), target)
+        stores = info.stores_by_base.get(var)
+        if stores:
+            for stmt in stores:
+                source = self._var_node(ctx, method, stmt.source)
+                for obj in delta:
+                    self.counters["store_edges"] += 1
+                    self._add_edge(source, self._field_node(obj, stmt.field_name))
+        invokes = info.invokes_by_base.get(var)
+        if invokes:
+            for stmt in invokes:
+                for obj in delta:
+                    self._process_virtual_dispatch(ctx, method, stmt, obj)
+
+    def _process_virtual_dispatch(self, ctx: Context, caller: Method,
+                                  stmt: Invoke, obj: int) -> None:
+        self.counters["dispatch_attempts"] += 1
+        self._virtual_sites_seen.add(stmt.call_site)
+        callee = self.program.dispatch(self._object_class[obj], stmt.method_name)
+        if callee is None or len(callee.params) != len(stmt.args):
+            return
+        receiver = ReceiverInfo(
+            obj, self._object_heap_ctx[obj], self._object_ctx_elem[obj]
+        )
+        callee_ctx = self.selector.select_virtual(
+            ctx, stmt.call_site, receiver, callee.qualified_name
+        )
+        # `this` receives exactly this object, unconditionally (cheap,
+        # dedups in propagate).
+        self._worklist.append(
+            (self._var_node(callee_ctx, callee, "this"), {obj})
+        )
+        edge = (ctx, stmt.call_site, callee_ctx, callee.qualified_name)
+        if edge in self._cg_edges_ctx:
+            return
+        self._cg_edges_ctx.add(edge)
+        self._cg_edges_proj.add((stmt.call_site, callee.qualified_name))
+        self._add_reachable(callee_ctx, callee)
+        self._link_call(ctx, caller, stmt.target, stmt.args, callee_ctx, callee)
+
+    def _process_static_invoke(self, ctx: Context, caller: Method,
+                               stmt: StaticInvoke) -> None:
+        self._static_sites_seen.add(stmt.call_site)
+        callee = self.program.static_method(stmt.class_name, stmt.method_name)
+        if callee is None or len(callee.params) != len(stmt.args):
+            return
+        callee_ctx = self.selector.select_static(
+            ctx, stmt.call_site, callee.qualified_name
+        )
+        edge = (ctx, stmt.call_site, callee_ctx, callee.qualified_name)
+        if edge in self._cg_edges_ctx:
+            return
+        self._cg_edges_ctx.add(edge)
+        self._cg_edges_proj.add((stmt.call_site, callee.qualified_name))
+        self._add_reachable(callee_ctx, callee)
+        self._link_call(ctx, caller, stmt.target, stmt.args, callee_ctx, callee)
+
+    def _link_call(self, ctx: Context, caller: Method, target: Optional[str],
+                   args: Tuple[str, ...], callee_ctx: Context,
+                   callee: Method) -> None:
+        info = self._method_info.get(id(callee))
+        return_vars = info.return_vars if info else callee.return_var_names
+        for arg, param in zip(args, callee.params):
+            self._add_edge(
+                self._var_node(ctx, caller, arg),
+                self._var_node(callee_ctx, callee, param),
+            )
+        if target is not None:
+            target_node = self._var_node(ctx, caller, target)
+            for ret in return_vars:
+                self._add_edge(self._var_node(callee_ctx, callee, ret), target_node)
+        # exceptional flow: whatever escapes the callee reaches the
+        # caller's exceptional exit
+        self._add_edge(
+            self._exception_node(callee_ctx, callee),
+            self._exception_node(ctx, caller),
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _is_subtype_name(self, sub: str, sup: str) -> bool:
+        key = (sub, sup)
+        cached = self._subtype_cache.get(key)
+        if cached is None:
+            hierarchy = self._hierarchy
+            cached = (
+                sub in hierarchy
+                and sup in hierarchy
+                and hierarchy.is_subtype(hierarchy.get(sub), hierarchy.get(sup))
+            )
+            self._subtype_cache[key] = cached
+        return cached
+
+
+def solve(program: Program, selector: Optional[ContextSelector] = None,
+          heap_model: Optional[HeapModel] = None,
+          timeout_seconds: Optional[float] = None):
+    """Convenience wrapper: build a :class:`Solver` and run it."""
+    return Solver(program, selector, heap_model, timeout_seconds).solve()

@@ -1,0 +1,149 @@
+"""IR-to-IR transformations, each with a provable analysis invariant.
+
+Two passes a points-to toolkit typically wants before analysis:
+
+* :func:`eliminate_dead_methods` — drop methods unreachable under CHA
+  (the coarsest sound call graph).  Every points-to analysis computes a
+  reachable set contained in CHA's, so removal cannot change any
+  analysis result — asserted by the property tests.
+* :func:`rename_locals` — alpha-rename every local variable (parameters
+  and ``this`` excluded).  Points-to analysis is insensitive to local
+  names, so all results are preserved up to the renaming.
+
+Both return fresh :class:`~repro.ir.program.Program` values; inputs are
+never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.clients.cha import build_cha_call_graph
+from repro.ir.program import ClassDecl, Method, Program
+from repro.ir.statements import (
+    AssignNull,
+    Cast,
+    Catch,
+    Copy,
+    Invoke,
+    Load,
+    New,
+    Return,
+    StaticInvoke,
+    StaticLoad,
+    StaticStore,
+    Statement,
+    Store,
+    Throw,
+)
+
+__all__ = ["eliminate_dead_methods", "rename_locals"]
+
+
+def _rebuild(program: Program,
+             keep_method=lambda m: True,
+             transform_method=lambda m: m) -> Program:
+    """Clone ``program``, filtering and mapping methods."""
+    clone = Program(program.hierarchy)
+    for decl in program.classes.values():
+        new_decl = ClassDecl(decl.type)
+        for fdecl in decl.fields.values():
+            new_decl.add_field(fdecl)
+        for method in decl.methods.values():
+            if keep_method(method):
+                new_decl.add_method(transform_method(method))
+        clone.add_class(new_decl)
+    assert program.entry is not None
+    clone.set_entry(transform_method(program.entry))
+    clone.finalize()
+    return clone
+
+
+def eliminate_dead_methods(program: Program) -> Tuple[Program, Set[str]]:
+    """Remove methods unreachable under CHA.
+
+    Returns the slimmed program and the removed methods' qualified
+    names.  CHA over-approximates every points-to-based reachable set,
+    so the removal is invisible to every analysis this package runs
+    (property-tested in ``tests/test_transform.py``).
+    """
+    reachable = build_cha_call_graph(program).reachable_methods
+    removed: Set[str] = set()
+
+    def keep(method: Method) -> bool:
+        alive = method.qualified_name in reachable
+        if not alive:
+            removed.add(method.qualified_name)
+        return alive
+
+    return _rebuild(program, keep_method=keep), removed
+
+
+def rename_locals(program: Program, prefix: str = "v") -> Program:
+    """Alpha-rename every method-local variable to ``<prefix><n>``.
+
+    Parameters and ``this`` keep their names (they are part of the
+    method's interface as far as readability goes; renaming them too
+    would be equally sound but makes diffs useless).  Allocation and
+    call site ids are preserved, so analysis results are comparable
+    site-for-site with the original.
+    """
+
+    def transform(method: Method) -> Method:
+        fixed = set(method.params)
+        if not method.is_static:
+            fixed.add("this")
+        mapping: Dict[str, str] = {}
+
+        def fresh(name: Optional[str]) -> Optional[str]:
+            if name is None or name in fixed:
+                return name
+            if name not in mapping:
+                mapping[name] = f"{prefix}{len(mapping)}"
+            return mapping[name]
+
+        statements: List[Statement] = []
+        for stmt in method.statements:
+            statements.append(_rename_statement(stmt, fresh))
+        return Method(method.class_name, method.name, method.params,
+                      statements, method.is_static)
+
+    return _rebuild(program, transform_method=transform)
+
+
+def _rename_statement(stmt: Statement, fresh) -> Statement:
+    if isinstance(stmt, New):
+        return New(fresh(stmt.target), stmt.class_name, stmt.site)
+    if isinstance(stmt, Copy):
+        return Copy(fresh(stmt.target), fresh(stmt.source))
+    if isinstance(stmt, Load):
+        return Load(fresh(stmt.target), fresh(stmt.base), stmt.field_name)
+    if isinstance(stmt, Store):
+        return Store(fresh(stmt.base), stmt.field_name, fresh(stmt.source))
+    if isinstance(stmt, StaticLoad):
+        return StaticLoad(fresh(stmt.target), stmt.class_name,
+                          stmt.field_name)
+    if isinstance(stmt, StaticStore):
+        return StaticStore(stmt.class_name, stmt.field_name,
+                           fresh(stmt.source))
+    if isinstance(stmt, Invoke):
+        return Invoke(fresh(stmt.target), fresh(stmt.base),
+                      stmt.method_name,
+                      tuple(fresh(a) for a in stmt.args), stmt.call_site)
+    if isinstance(stmt, StaticInvoke):
+        return StaticInvoke(fresh(stmt.target), stmt.class_name,
+                            stmt.method_name,
+                            tuple(fresh(a) for a in stmt.args),
+                            stmt.call_site)
+    if isinstance(stmt, Cast):
+        return Cast(fresh(stmt.target), stmt.class_name,
+                    fresh(stmt.source), stmt.cast_site)
+    if isinstance(stmt, Return):
+        return Return(fresh(stmt.source))
+    if isinstance(stmt, AssignNull):
+        return AssignNull(fresh(stmt.target))
+    if isinstance(stmt, Throw):
+        return Throw(fresh(stmt.source))
+    if isinstance(stmt, Catch):
+        return Catch(fresh(stmt.target), stmt.class_name)
+    raise TypeError(f"unknown statement: {type(stmt).__name__}")

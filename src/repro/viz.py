@@ -1,0 +1,192 @@
+"""Graphviz (DOT) export for the system's graph-shaped artifacts.
+
+Pure string generation — no graphviz dependency; pipe the output into
+``dot -Tsvg`` (or any renderer) yourself:
+
+* :func:`fpg_to_dot` — the field points-to graph, optionally colored by
+  MAHJONG equivalence class (merged sites share a color);
+* :func:`dfa_to_dot` — a shared or explicit sequential DFA;
+* :func:`call_graph_to_dot` — a (CHA or points-to) call graph, methods
+  as nodes;
+* :func:`hierarchy_to_dot` — the class hierarchy.
+
+Everything escapes labels, emits deterministic node ordering (stable
+diffs), and keeps styling minimal so downstream tooling can restyle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.automata import DFAState, SequentialDFA
+from repro.core.fpg import NULL_OBJECT, FieldPointsToGraph
+from repro.ir.program import Program
+
+__all__ = [
+    "fpg_to_dot",
+    "dfa_to_dot",
+    "shared_dfa_to_dot",
+    "call_graph_to_dot",
+    "hierarchy_to_dot",
+]
+
+# A small qualitative palette, cycled over equivalence classes.
+_PALETTE = (
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+    "#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+)
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def fpg_to_dot(fpg: FieldPointsToGraph,
+               mom: Optional[Mapping[int, int]] = None,
+               name: str = "FPG") -> str:
+    """Render a field points-to graph.
+
+    With ``mom`` (a merged object map), sites in the same equivalence
+    class share a fill color; singletons stay white.
+    """
+    lines: List[str] = [f'digraph "{_escape(name)}" {{',
+                        "  rankdir=LR;",
+                        '  node [shape=box, style=filled, fillcolor=white];']
+    colors: Dict[int, str] = {}
+    if mom:
+        class_sizes: Dict[int, int] = {}
+        for representative in mom.values():
+            class_sizes[representative] = class_sizes.get(representative, 0) + 1
+        palette_index = 0
+        for representative in sorted(set(mom.values())):
+            if class_sizes[representative] > 1:
+                colors[representative] = _PALETTE[palette_index % len(_PALETTE)]
+                palette_index += 1
+    for obj in sorted(fpg.objects()):
+        label = f"o{obj}: {fpg.type_of(obj)}"
+        attrs = [f'label="{_escape(label)}"']
+        if mom:
+            color = colors.get(mom.get(obj, obj))
+            if color:
+                attrs.append(f'fillcolor="{color}"')
+        lines.append(f"  n{obj} [{', '.join(attrs)}];")
+    has_null_edge = any(target == NULL_OBJECT for _, _, target in fpg.edges())
+    if has_null_edge:
+        lines.append('  n0 [label="null", shape=ellipse, '
+                     'fillcolor="#eeeeee"];')
+    for source, field, target in sorted(fpg.edges()):
+        lines.append(f'  n{source} -> n{target} [label="{_escape(field)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfa_to_dot(dfa: SequentialDFA, name: str = "DFA") -> str:
+    """Render an explicit sequential DFA (states labeled by object sets
+    and output types)."""
+    order = sorted(dfa.states, key=lambda s: sorted(s))
+    ids = {state: i for i, state in enumerate(order)}
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;",
+             "  node [shape=circle];"]
+    for state in order:
+        objects = ",".join(f"o{o}" for o in sorted(state))
+        types = ",".join(sorted(dfa.gamma[state]))
+        shape = "doublecircle" if state == dfa.q0 else "circle"
+        lines.append(
+            f'  s{ids[state]} [shape={shape}, '
+            f'label="{{{_escape(objects)}}}\\n{_escape(types)}"];'
+        )
+    for (state, symbol), target in sorted(
+        dfa.delta.items(), key=lambda kv: (sorted(kv[0][0]), kv[0][1])
+    ):
+        lines.append(
+            f'  s{ids[state]} -> s{ids[target]} [label="{_escape(symbol)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def shared_dfa_to_dot(root: DFAState, name: str = "DFA") -> str:
+    """Render the shared DFA reachable from ``root``."""
+    order: List[DFAState] = []
+    seen: Set[int] = set()
+    stack = [root]
+    while stack:
+        state = stack.pop()
+        if id(state) in seen:
+            continue
+        seen.add(id(state))
+        order.append(state)
+        for symbol in sorted(state.transitions):
+            stack.append(state.transitions[symbol])
+    order.sort(key=lambda s: sorted(s.objects))
+    ids = {id(state): i for i, state in enumerate(order)}
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;",
+             "  node [shape=circle];"]
+    for state in order:
+        objects = ",".join(f"o{o}" for o in sorted(state.objects))
+        types = ",".join(sorted(state.types))
+        shape = "doublecircle" if state is root else "circle"
+        lines.append(
+            f'  s{ids[id(state)]} [shape={shape}, '
+            f'label="{{{_escape(objects)}}}\\n{_escape(types)}"];'
+        )
+    for state in order:
+        for symbol in sorted(state.transitions):
+            target = state.transitions[symbol]
+            lines.append(
+                f'  s{ids[id(state)]} -> s{ids[id(target)]} '
+                f'[label="{_escape(symbol)}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_graph_to_dot(edges: Iterable[Tuple[int, str]],
+                      program: Optional[Program] = None,
+                      name: str = "CallGraph") -> str:
+    """Render call-graph edges ``(call_site, callee)``.
+
+    With ``program``, call sites are attributed to their enclosing
+    method so the graph becomes method → method; without it, call sites
+    are their own nodes.
+    """
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;",
+             "  node [shape=box];"]
+    if program is not None:
+        site_owner: Dict[int, str] = {}
+        for method in program.all_methods():
+            for stmt in method.statements:
+                call_site = getattr(stmt, "call_site", None)
+                if call_site is not None:
+                    site_owner[call_site] = method.qualified_name
+        method_edges = sorted({
+            (site_owner.get(site, f"site{site}"), callee)
+            for site, callee in edges
+        })
+        nodes = sorted({m for edge in method_edges for m in edge})
+        ids = {m: i for i, m in enumerate(nodes)}
+        for method_name in nodes:
+            lines.append(f'  m{ids[method_name]} '
+                         f'[label="{_escape(method_name)}"];')
+        for caller, callee in method_edges:
+            lines.append(f"  m{ids[caller]} -> m{ids[callee]};")
+    else:
+        for site, callee in sorted(edges):
+            lines.append(f'  site{site} [shape=point];')
+            lines.append(f'  site{site} -> "{_escape(callee)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hierarchy_to_dot(program: Program, name: str = "Hierarchy") -> str:
+    """Render the class hierarchy (edges point superclass → subclass)."""
+    lines = [f'digraph "{_escape(name)}" {{', "  node [shape=box];"]
+    for decl in sorted(program.classes.values(), key=lambda d: d.name):
+        lines.append(f'  "{_escape(decl.name)}";')
+        superclass = decl.type.superclass_name
+        if superclass is not None:
+            lines.append(
+                f'  "{_escape(superclass)}" -> "{_escape(decl.name)}";'
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Synthetic workloads standing in for the paper's 12 Java programs,
+plus a hand-written corpus of exactly-reasoned mini-programs."""
+
+from repro.workloads.corpus import CORPUS, corpus_names, corpus_program
+from repro.workloads.generator import WorkloadSpec, generate
+from repro.workloads.profiles import (
+    PROFILE_NAMES,
+    PROFILES,
+    TINY,
+    load_profile,
+    profile_spec,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "generate",
+    "PROFILES",
+    "PROFILE_NAMES",
+    "TINY",
+    "profile_spec",
+    "load_profile",
+    "CORPUS",
+    "corpus_names",
+    "corpus_program",
+]

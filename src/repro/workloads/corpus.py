@@ -1,0 +1,187 @@
+"""A hand-written corpus of small, realistic mini-Java programs.
+
+Unlike the generated profiles (which exist to reproduce the paper's
+*aggregate* numbers), these programs are small enough to reason about
+exactly; the scenario tests pin their precise behaviour under several
+analysis configurations, and examples/docs quote them.
+
+Each entry is source text; :func:`corpus_program` parses on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.program import Program
+
+__all__ = ["CORPUS", "corpus_names", "corpus_program"]
+
+CORPUS: Dict[str, str] = {}
+
+CORPUS["cache"] = """
+// A memoizing cache: one backing cell per cache, values of one type.
+class Value { method use() { return this; } }
+class Cache {
+  field cell: Value;
+  method put(v) { this.cell = v; }
+  method get() { r = this.cell; return r; }
+}
+main {
+  c1 = new Cache();
+  c2 = new Cache();
+  v1 = new Value();
+  v2 = new Value();
+  c1.put(v1);
+  c2.put(v2);
+  g1 = c1.get();
+  g2 = c2.get();
+  g1.use();
+}
+"""
+
+CORPUS["iterator"] = """
+// Collection/iterator: the iterator is allocated inside the collection's
+// method, so its identity depends on heap context.
+class Item { method touch() { return this; } }
+class Iter {
+  field cur: Item;
+  method next() { r = this.cur; return r; }
+}
+class Coll {
+  field head: Item;
+  method iterator() {
+    it = new Iter();
+    h = this.head;
+    it.cur = h;
+    return it;
+  }
+}
+main {
+  a = new Coll();
+  b = new Coll();
+  x = new Item();
+  y = new Item();
+  a.head = x;
+  b.head = y;
+  ita = a.iterator();
+  itb = b.iterator();
+  fromA = ita.next();
+  fromB = itb.next();
+  fromA.touch();
+}
+"""
+
+CORPUS["builder_chain"] = """
+// Fluent builder: every setter returns this, creating long copy chains.
+class Part { }
+class Builder {
+  field first: Part;
+  field second: Part;
+  method withFirst(p) { this.first = p; return this; }
+  method withSecond(p) { this.second = p; return this; }
+  method build() { r = this.first; return r; }
+}
+main {
+  b = new Builder();
+  p1 = new Part();
+  p2 = new Part();
+  step1 = b.withFirst(p1);
+  step2 = step1.withSecond(p2);
+  made = step2.build();
+}
+"""
+
+CORPUS["listeners"] = """
+// Event bus: registered listeners dispatched polymorphically.
+class Event { }
+class Listener { method on(e) { return e; } }
+class LogListener extends Listener { method on(e) { return e; } }
+class UiListener extends Listener { method on(e) { return e; } }
+class Bus {
+  field subscriber: Listener;
+  method register(l) { this.subscriber = l; }
+  method fire(e) {
+    l = this.subscriber;
+    r = l.on(e);
+    return r;
+  }
+}
+main {
+  bus = new Bus();
+  log = new LogListener();
+  ui = new UiListener();
+  bus.register(log);
+  bus.register(ui);
+  ev = new Event();
+  out = bus.fire(ev);
+}
+"""
+
+CORPUS["registry_singleton"] = """
+// A static registry holding a singleton service.
+class Service { method serve() { return this; } }
+class Registry {
+  static field instance: Service;
+  static method install(s) { Registry::instance = s; }
+  static method lookup() { r = Registry::instance; return r; }
+}
+main {
+  s = new Service();
+  Registry::install(s);
+  got = Registry::lookup();
+  got.serve();
+}
+"""
+
+CORPUS["downcast_pipeline"] = """
+// A processing pipeline that erases and downcasts its payload.
+class Payload { }
+class Wrapped extends Payload { }
+class Stage {
+  method pass(p) { return p; }
+}
+main {
+  stage = new Stage();
+  w = new Wrapped();
+  erased = stage.pass(w);
+  narrowed = (Wrapped) erased;
+  p = new Payload();
+  erased2 = stage.pass(p);
+  bad = (Wrapped) erased2;
+}
+"""
+
+CORPUS["failure_paths"] = """
+// Exceptional control: a retrying client over a flaky transport.
+class NetError { }
+class Transport {
+  method send() {
+    e = new NetError();
+    throw e;
+    return this;
+  }
+}
+class Client {
+  method call(t) {
+    r = t.send();
+    handled = catch (NetError);
+    return handled;
+  }
+}
+main {
+  t = new Transport();
+  c = new Client();
+  outcome = c.call(t);
+}
+"""
+
+
+def corpus_names() -> List[str]:
+    return list(CORPUS)
+
+
+def corpus_program(name: str) -> Program:
+    """Parse one corpus entry (fresh program each call)."""
+    from repro.frontend import parse_program
+
+    return parse_program(CORPUS[name])

@@ -1,0 +1,140 @@
+"""Deterministic synthetic workload generation.
+
+A :class:`WorkloadSpec` describes how much of each
+:mod:`~repro.workloads.patterns` pattern a program contains;
+:func:`generate` assembles the program (same spec + same seed ⇒
+identical program, statement for statement).
+
+The specs stand in for the paper's 12 Java programs (DaCapo +
+findbugs/checkstyle/JPC on JDK 1.6): what matters to MAHJONG is the
+*shape* of the field points-to graph and the dispatch structure, which
+these programs control directly — see DESIGN.md §2 for the substitution
+argument.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.patterns import (
+    PatternWorld,
+    emit_dispatch_kernel,
+    emit_factories,
+    emit_heterogeneous_boxes,
+    emit_homogeneous_boxes,
+    emit_linked_lists,
+    emit_null_field_objects,
+    emit_error_handling,
+    emit_runtime,
+    emit_visitors,
+    emit_unique_records,
+)
+
+__all__ = ["WorkloadSpec", "generate"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Size and shape parameters of one synthetic program."""
+
+    name: str
+    seed: int = 0
+    #: payload element classes (drives type diversity)
+    element_classes: int = 8
+    #: homogeneous container groups × allocation sites per group
+    box_groups: int = 6
+    box_sites_per_group: int = 10
+    #: heterogeneous (unmergeable) boxes
+    mixed_boxes: int = 6
+    #: linked-list groups × sites (cyclic FPGs)
+    list_groups: int = 3
+    list_sites_per_group: int = 4
+    #: never-initialized objects (null-field classes)
+    null_objects: int = 3
+    #: dispatch kernel: receiver sites, layer depth, per-layer fanout
+    kernel_receiver_sites: int = 10
+    kernel_depth: int = 4
+    kernel_fanout: int = 2
+    #: independent kernel instances (cost scales linearly)
+    kernel_count: int = 1
+    #: allocate string builders inside kernel steps (the paper's
+    #: dominant cost asymmetry: their contexts blow up under the
+    #: allocation-site abstraction, collapse under MAHJONG)
+    kernel_strings: bool = False
+    #: make kernel layers store varying payload types: Condition 2 fails
+    #: and the kernel stays expensive even under MAHJONG (the paper's
+    #: three still-unscalable programs)
+    kernel_poly_payloads: bool = False
+    #: factory subtypes and genuinely-polymorphic call sites
+    factory_subtypes: int = 4
+    poly_call_sites: int = 6
+    #: one-off record classes (the singleton tail of Figure 9)
+    unique_records: int = 0
+    #: throw/catch drivers (0 = no exceptional flow)
+    exception_sites: int = 0
+    #: visitor/double-dispatch drivers (0 = none)
+    visitor_sites: int = 0
+    #: emit string-builder churn inside box drivers
+    with_strings: bool = True
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """A proportionally larger/smaller spec (site counts scale;
+        structural depths stay)."""
+
+        def scale(n: int) -> int:
+            return max(1, round(n * factor))
+
+        return replace(
+            self,
+            box_groups=scale(self.box_groups),
+            box_sites_per_group=scale(self.box_sites_per_group),
+            mixed_boxes=scale(self.mixed_boxes),
+            list_groups=scale(self.list_groups),
+            list_sites_per_group=scale(self.list_sites_per_group),
+            null_objects=scale(self.null_objects),
+            unique_records=scale(self.unique_records),
+            kernel_receiver_sites=scale(self.kernel_receiver_sites),
+            poly_call_sites=scale(self.poly_call_sites),
+        )
+
+
+def generate(spec: WorkloadSpec) -> Program:
+    """Build the program described by ``spec`` (deterministic)."""
+    builder = ProgramBuilder()
+    world = PatternWorld(builder=builder, rng=random.Random(spec.seed))
+    emit_runtime(world, spec.element_classes)
+    emit_homogeneous_boxes(
+        world, spec.box_groups, spec.box_sites_per_group,
+        with_strings=spec.with_strings,
+    )
+    if spec.mixed_boxes:
+        emit_heterogeneous_boxes(world, spec.mixed_boxes)
+    if spec.list_groups and spec.list_sites_per_group:
+        emit_linked_lists(world, spec.list_groups, spec.list_sites_per_group)
+    if spec.null_objects:
+        emit_null_field_objects(world, spec.null_objects)
+    if spec.kernel_receiver_sites:
+        for _ in range(spec.kernel_count):
+            emit_dispatch_kernel(
+                world, spec.kernel_receiver_sites, spec.kernel_depth,
+                spec.kernel_fanout, with_strings=spec.kernel_strings,
+                poly_payloads=spec.kernel_poly_payloads,
+            )
+    if spec.unique_records:
+        emit_unique_records(world, spec.unique_records)
+    if spec.exception_sites:
+        emit_error_handling(world, spec.exception_sites)
+    if spec.visitor_sites:
+        emit_visitors(world, node_kinds=3,
+                      visitor_count=2, sites=spec.visitor_sites)
+    if spec.factory_subtypes and spec.poly_call_sites:
+        emit_factories(world, spec.factory_subtypes, spec.poly_call_sites)
+
+    with builder.main() as m:
+        for class_name, method_name in world.drivers:
+            m.static_invoke(class_name, method_name,
+                            target=m.fresh_var("d"))
+    return builder.build()

@@ -1,0 +1,534 @@
+"""Code patterns for the synthetic workload generator.
+
+Each pattern emits a family of classes and *driver* methods onto a
+:class:`~repro.ir.builder.ProgramBuilder`.  The patterns are the heap
+shapes the paper's discussion hinges on:
+
+* :func:`emit_runtime` — a tiny "JDK": strings, char arrays, object
+  arrays, string builders.  Every string builder stores only char
+  arrays, so all of their allocation sites are type-consistent — the
+  paper's dominant equivalence class (Table 1, row 1).
+* :func:`emit_homogeneous_boxes` — per element class ``E``, many box /
+  backing-array sites that store only ``E`` (stores are site-local, so
+  even the imprecise pre-analysis sees one element type per backing
+  array): the ``Object[]``-split-by-element-type classes of Table 1,
+  rows 2/4/5.  Retrieval goes through the *shared* ``Box.get`` method
+  and is followed by a downcast to ``E`` and a virtual call — precise
+  (safe cast, mono call) under context-sensitive analyses with the
+  allocation-site or MAHJONG abstraction, imprecise under the
+  allocation-type abstraction, which is exactly the paper's story.
+* :func:`emit_heterogeneous_boxes` — boxes storing mixed element types;
+  their backing arrays violate Condition 2, so MAHJONG must keep every
+  site separate (this is what makes merging non-trivial).
+* :func:`emit_dispatch_kernel` — receiver objects whose methods allocate
+  several next-layer receivers and recurse: the k-object-sensitivity
+  cost amplifier (contexts grow like ``fanout^(k-1) × sites``).  All
+  layer sites are type-consistent, so MAHJONG collapses the chains.
+* :func:`emit_linked_lists` — cyclic field points-to structure
+  (``Node.next → Node``), exercising automata equivalence under cycles.
+* :func:`emit_null_field_objects` — objects whose fields are never
+  assigned (Table 1, row 6: separated from their initialized peers).
+* :func:`emit_factories` — subtype factories and polymorphic dispatch
+  sites that stay poly under every analysis (keeps client metrics
+  honest).
+
+All naming is deterministic; randomness comes only from the caller's
+seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+
+__all__ = [
+    "PatternWorld",
+    "emit_runtime",
+    "emit_homogeneous_boxes",
+    "emit_heterogeneous_boxes",
+    "emit_dispatch_kernel",
+    "emit_linked_lists",
+    "emit_null_field_objects",
+    "emit_factories",
+    "emit_unique_records",
+    "emit_error_handling",
+    "emit_visitors",
+]
+
+
+@dataclass
+class PatternWorld:
+    """Shared state across pattern emitters for one generated program."""
+
+    builder: ProgramBuilder
+    rng: random.Random
+    #: static driver methods for main: (class_name, method_name)
+    drivers: List[Tuple[str, str]] = field(default_factory=list)
+    #: element classes available to container patterns
+    element_classes: List[str] = field(default_factory=list)
+    _uid: int = 0
+
+    def unique(self, prefix: str) -> str:
+        self._uid += 1
+        return f"{prefix}{self._uid}"
+
+    def add_driver(self, class_name: str, method_name: str) -> None:
+        self.drivers.append((class_name, method_name))
+
+
+# ----------------------------------------------------------------------
+# Runtime: strings / arrays / string builders / boxes
+# ----------------------------------------------------------------------
+def emit_runtime(world: PatternWorld, element_class_count: int) -> None:
+    """The mini runtime library plus ``element_class_count`` payload
+    element classes ``Elem0..``, each with a virtual ``tag()`` method."""
+    b = world.builder
+    b.add_class("CharArray")
+    b.add_class("JString")
+    b.add_field("JString", "value", "CharArray")
+    with b.method("JString", "charValue") as m:
+        v = m.load("this", "value")
+        m.ret(v)
+    b.add_class("StringBuilder")
+    b.add_field("StringBuilder", "value", "CharArray")
+    with b.method("StringBuilder", "append", params=("s",)) as m:
+        v = m.load("s", "value")
+        m.store("this", "value", v)
+        m.ret("this")
+    with b.method("StringBuilder", "toString") as m:
+        js = m.new("JString")
+        v = m.load("this", "value")
+        m.store(js, "value", v)
+        m.ret(js)
+    b.add_array_class("ObjectArray")
+
+    b.add_class("Box")
+    b.add_field("Box", "data", "ObjectArray")
+    with b.method("Box", "get") as m:
+        d = m.load("this", "data")
+        r = m.load(d, "elem")
+        m.ret(r)
+
+    b.add_class("Elem")
+    with b.method("Elem", "tag") as m:
+        m.ret("this")
+    for i in range(element_class_count):
+        name = f"Elem{i}"
+        b.add_class(name, "Elem")
+        with b.method(name, "tag") as m:
+            m.ret("this")
+        world.element_classes.append(name)
+
+
+def _emit_string_use(m: MethodBuilder) -> None:
+    """One string-building snippet: new SB, new string, append, toString."""
+    sb = m.new("StringBuilder")
+    js = m.new("JString")
+    chars = m.new("CharArray")
+    m.store(js, "value", chars)
+    appended = m.invoke(sb, "append", js, target=m.fresh_var("sbr"))
+    m.invoke(sb, "toString", target=m.fresh_var("str"))
+    # `appended` aliases `sb`; calling through it creates copy chains.
+    m.invoke(appended, "toString", target=m.fresh_var("str"))
+
+
+# ----------------------------------------------------------------------
+# Homogeneous boxes (mergeable containers)
+# ----------------------------------------------------------------------
+def emit_homogeneous_boxes(world: PatternWorld, groups: int,
+                           sites_per_group: int,
+                           with_strings: bool = True) -> None:
+    """``groups`` element types × ``sites_per_group`` box allocation
+    sites each; every site in a group is type-consistent with its peers.
+
+    Stores into the backing array are site-local (``backing.elem = e``),
+    so the pre-analysis keeps one element type per group; retrieval goes
+    through the shared virtual ``Box.get``, so precision at the
+    subsequent cast and ``tag()`` call depends on the main analysis
+    distinguishing (or type-consistently merging) the boxes.
+    """
+    b = world.builder
+    rng = world.rng
+    for g in range(groups):
+        element = world.element_classes[g % len(world.element_classes)]
+        holder = world.unique("BoxModule")
+        b.add_class(holder)
+        for s in range(sites_per_group):
+            method_name = f"use{s}"
+            with b.method(holder, method_name, static=True) as m:
+                box = m.new("Box")
+                backing = m.new("ObjectArray")
+                m.store(box, "data", backing)
+                elem = m.new(element)
+                m.store(backing, "elem", elem)
+                got = m.invoke(box, "get", target="got")
+                # Unfiltered dispatch on the retrieved element: mono under
+                # context-sensitive analyses (which see exactly Elem_g
+                # coming back), poly under ci / allocation-type.
+                m.invoke(got, "tag", target=m.fresh_var("gr"))
+                cast = m.cast(element, got)
+                m.invoke(cast, "tag", target=m.fresh_var("tr"))
+                if with_strings and rng.random() < 0.5:
+                    _emit_string_use(m)
+                m.ret(box)
+            world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous boxes (must NOT merge)
+# ----------------------------------------------------------------------
+def emit_heterogeneous_boxes(world: PatternWorld, count: int) -> None:
+    """Boxes storing two distinct element types each; their backing
+    arrays violate Condition 2 (single type), so MAHJONG keeps every
+    site separate — and the retrieval cast may genuinely fail."""
+    b = world.builder
+    rng = world.rng
+    holder = world.unique("MixedModule")
+    b.add_class(holder)
+    for s in range(count):
+        first = rng.choice(world.element_classes)
+        second = rng.choice(world.element_classes)
+        while second == first and len(world.element_classes) > 1:
+            second = rng.choice(world.element_classes)
+        method_name = f"mix{s}"
+        with b.method(holder, method_name, static=True) as m:
+            box = m.new("Box")
+            backing = m.new("ObjectArray")
+            m.store(box, "data", backing)
+            e1 = m.new(first)
+            e2 = m.new(second)
+            m.store(backing, "elem", e1)
+            m.store(backing, "elem", e2)
+            got = m.invoke(box, "get", target="got")
+            cast = m.cast(first, got)  # may fail: box also holds `second`
+            m.invoke(cast, "tag", target=m.fresh_var("tr"))
+            m.ret(box)
+        world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Dispatch kernel (context-sensitivity cost amplifier)
+# ----------------------------------------------------------------------
+def emit_dispatch_kernel(world: PatternWorld, receiver_sites: int,
+                         depth: int, fanout: int = 2,
+                         with_strings: bool = False,
+                         poly_payloads: bool = False) -> None:
+    """The k-object-sensitivity stressor.
+
+    ``depth`` layer classes ``L1..Ld``; each ``Li.step()`` allocates
+    ``fanout`` next-layer receivers at distinct sites and calls
+    ``step()`` on each, the last layer allocating a payload.
+    ``receiver_sites`` distinct sites create ``L1`` receivers.
+
+    Under k-object-sensitivity the receiver chains multiply (contexts at
+    the deep layers grow like ``fanout^(k-1)``); each layer's sites are
+    mutually type-consistent, so MAHJONG merges them and the chains
+    collapse to one per layer.  With ``with_strings`` each step also
+    allocates a string builder, so the string-builder sites inherit the
+    full context blowup under the allocation-site abstraction while the
+    merged builder stays context-insensitive under MAHJONG — the paper's
+    dominant cost asymmetry.
+
+    With ``poly_payloads`` each step also tags itself with a *varying*
+    element type; the pre-analysis smashes those stores over all
+    receivers of the layer, Condition 2 fails, no layer site merges, and
+    MAHJONG cannot rescue the analysis — this models the paper's three
+    programs that stay unscalable even under M-3obj.
+    """
+    b = world.builder
+    payload = world.element_classes[0] if world.element_classes else "Elem"
+    layers = [world.unique("Layer") for _ in range(depth)]
+    for index, layer in enumerate(layers):
+        b.add_class(layer)
+        b.add_field(layer, "next",
+                    layers[index + 1] if index + 1 < depth else payload)
+        if poly_payloads:
+            b.add_field(layer, "tagd", "Elem")
+        with b.method(layer, "step") as m:
+            if with_strings:
+                _emit_string_use(m)
+            if poly_payloads and world.element_classes:
+                variant = world.element_classes[
+                    (index * 7 + 1) % len(world.element_classes)
+                ]
+                other = world.element_classes[
+                    (index * 7 + 3) % len(world.element_classes)
+                ]
+                e1 = m.new(variant)
+                m.store("this", "tagd", e1)
+                e2 = m.new(other)
+                m.store("this", "tagd", e2)
+            if index + 1 < depth:
+                result = None
+                for _ in range(fanout):
+                    nxt = m.new(layers[index + 1])
+                    m.store("this", "next", nxt)
+                    result = m.invoke(nxt, "step", target=m.fresh_var("sr"))
+                m.ret(result)
+            else:
+                p = m.new(payload)
+                m.store("this", "next", p)
+                m.ret("this")
+    holder = world.unique("KernelModule")
+    b.add_class(holder)
+    for s in range(receiver_sites):
+        method_name = f"drive{s}"
+        with b.method(holder, method_name, static=True) as m:
+            recv = m.new(layers[0])
+            m.invoke(recv, "step", target="r")
+            m.ret(recv)
+        world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Linked lists (cyclic FPGs)
+# ----------------------------------------------------------------------
+def emit_linked_lists(world: PatternWorld, groups: int,
+                      sites_per_group: int) -> None:
+    """Per element type, list nodes forming ``next`` cycles; all nodes of
+    a group are type-consistent despite the cyclic field graph."""
+    b = world.builder
+    if not b.has_class("ListNode"):
+        b.add_class("ListNode")
+        b.add_field("ListNode", "next", "ListNode")
+        b.add_field("ListNode", "item", "Elem")
+        with b.method("ListNode", "head") as m:
+            r = m.load("this", "item")
+            m.ret(r)
+        with b.method("ListNode", "tail") as m:
+            r = m.load("this", "next")
+            m.ret(r)
+    for g in range(groups):
+        element = world.element_classes[(g * 3 + 1) % len(world.element_classes)]
+        holder = world.unique("ListModule")
+        b.add_class(holder)
+        for s in range(sites_per_group):
+            method_name = f"chain{s}"
+            with b.method(holder, method_name, static=True) as m:
+                head = m.new("ListNode")
+                second = m.new("ListNode")
+                m.store(head, "next", second)
+                m.store(second, "next", head)  # cycle
+                e1 = m.new(element)
+                e2 = m.new(element)
+                m.store(head, "item", e1)
+                m.store(second, "item", e2)
+                got = m.invoke(head, "head", target="h")
+                cast = m.cast(element, got)
+                m.invoke(cast, "tag", target=m.fresh_var("tr"))
+                t = m.invoke(head, "tail", target="t")
+                m.invoke(t, "head", target=m.fresh_var("hh"))
+                m.ret(head)
+            world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Null-field objects
+# ----------------------------------------------------------------------
+def emit_null_field_objects(world: PatternWorld, count: int) -> None:
+    """Allocate ``ListNode`` objects whose fields are never assigned —
+    they must land in their own equivalence class (Table 1, row 6)."""
+    b = world.builder
+    if not b.has_class("ListNode"):
+        emit_linked_lists(world, groups=0, sites_per_group=0)
+    holder = world.unique("NullModule")
+    b.add_class(holder)
+    for s in range(count):
+        method_name = f"bare{s}"
+        with b.method(holder, method_name, static=True) as m:
+            node = m.new("ListNode")
+            m.ret(node)
+        world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Factories / truly polymorphic dispatch
+# ----------------------------------------------------------------------
+def emit_factories(world: PatternWorld, subtype_count: int,
+                   call_sites: int) -> None:
+    """A ``Product`` hierarchy with a static factory per subtype and
+    dispatch sites whose receiver set covers two subtypes — these stay
+    poly-calls (and may-fail casts) under *every* sound analysis,
+    keeping the devirtualization and cast metrics non-trivial."""
+    b = world.builder
+    rng = world.rng
+    base = world.unique("Product")
+    b.add_class(base)
+    b.add_field(base, "origin", "JString")
+    with b.method(base, "make") as m:
+        m.ret("this")
+    factory = world.unique("Factory")
+    b.add_class(factory)
+    subtypes = []
+    for i in range(subtype_count):
+        sub = f"{base}Kind{i}"
+        b.add_class(sub, base)
+        with b.method(sub, "make") as m:
+            m.ret("this")
+        subtypes.append(sub)
+        with b.method(factory, f"create{i}", static=True) as m:
+            p = m.new(sub)
+            m.ret(p)
+    holder = world.unique("PolyModule")
+    b.add_class(holder)
+    for s in range(call_sites):
+        chosen = rng.sample(subtypes, k=min(len(subtypes), 2))
+        method_name = f"poly{s}"
+        with b.method(holder, method_name, static=True) as m:
+            merged = None
+            for i, sub in enumerate(subtypes):
+                if sub in chosen:
+                    p = m.static_invoke(factory, f"create{i}",
+                                        target=m.fresh_var("p"))
+                    if merged is None:
+                        merged = p
+                    else:
+                        m.copy(merged, p)  # flow-insensitive: both flow in
+            m.invoke(merged, "make", target="made")  # poly call
+            cast = m.cast(chosen[0], "made")  # may fail when 2 kinds flow
+            m.ret(cast)
+        world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Unique records (the heap's long singleton tail)
+# ----------------------------------------------------------------------
+def emit_unique_records(world: PatternWorld, count: int) -> None:
+    """``count`` one-off record classes with one allocation site each.
+
+    Real heaps are dominated by objects nothing else is type-consistent
+    with — Figure 9 shows 3769 of checkstyle's 4028 equivalence classes
+    are singletons.  Each record here has its own class (so it can merge
+    with nothing) and every other record carries a field pointing at a
+    varying element type, keeping the FPG content diverse.
+    """
+    b = world.builder
+    rng = world.rng
+    holder = world.unique("RecordModule")
+    b.add_class(holder)
+    for s in range(count):
+        record = world.unique("Record")
+        b.add_class(record)
+        with_field = s % 2 == 0 and world.element_classes
+        if with_field:
+            b.add_field(record, "payload", "Elem")
+        method_name = f"rec{s}"
+        with b.method(holder, method_name, static=True) as m:
+            obj = m.new(record)
+            if with_field:
+                element = rng.choice(world.element_classes)
+                e = m.new(element)
+                m.store(obj, "payload", e)
+            m.ret(obj)
+        world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Error handling (exceptional flow)
+# ----------------------------------------------------------------------
+def emit_error_handling(world: PatternWorld, sites: int,
+                        error_kinds: int = 3) -> None:
+    """``sites`` drivers exercising throw/catch through helper calls.
+
+    Each driver calls a worker whose failure path throws one of
+    ``error_kinds`` exception classes; half the drivers catch their
+    worker's kind, the rest let it escape.  Error objects of one kind
+    are type-consistent across workers (they carry no fields), so this
+    pattern also feeds the merging engine.
+    """
+    b = world.builder
+    if not b.has_class("Failure"):
+        b.add_class("Failure")
+    kinds = []
+    for k in range(error_kinds):
+        name = world.unique("Failure")
+        b.add_class(name, "Failure")
+        kinds.append(name)
+    worker = world.unique("Worker")
+    b.add_class(worker)
+    for k, kind in enumerate(kinds):
+        with b.method(worker, f"work{k}") as m:
+            e = m.new(kind)
+            m.throw(e)
+            m.ret("this")
+    holder = world.unique("ErrorModule")
+    b.add_class(holder)
+    for s in range(sites):
+        kind_index = s % len(kinds)
+        catches = s % 2 == 0
+        method_name = f"job{s}"
+        with b.method(holder, method_name, static=True) as m:
+            w = m.new(worker)
+            m.invoke(w, f"work{kind_index}", target=m.fresh_var("r"))
+            if catches:
+                m.catch(kinds[kind_index], target=m.fresh_var("caught"))
+            m.ret(w)
+        world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Visitors (double dispatch — the AST-tool shape of antlr/pmd/checkstyle)
+# ----------------------------------------------------------------------
+def emit_visitors(world: PatternWorld, node_kinds: int, visitor_count: int,
+                  sites: int) -> None:
+    """AST-walker shape: ``node_kinds`` node classes accepting
+    ``visitor_count`` visitor classes via double dispatch.
+
+    ``node.accept(v)`` dispatches on the node's dynamic kind, then calls
+    ``v.visitK(node)`` which dispatches on the visitor — two layers of
+    genuinely polymorphic calls, the structure dominating the paper's
+    compiler-ish benchmarks.  Nodes of the same kind built by different
+    drivers are type-consistent (children are kind-uniform per driver
+    group), so MAHJONG merges them without touching the dispatch
+    precision.
+    """
+    b = world.builder
+    rng = world.rng
+    node_base = world.unique("Node")
+    visitor_base = world.unique("Visitor")
+    b.add_class(node_base)
+    b.add_field(node_base, "child", node_base)
+    b.add_class(visitor_base)
+    kinds = []
+    for k in range(node_kinds):
+        kind = f"{node_base}Kind{k}"
+        b.add_class(kind, node_base)
+        kinds.append(kind)
+    visitors = []
+    for v in range(visitor_count):
+        visitor = f"{visitor_base}Impl{v}"
+        b.add_class(visitor, visitor_base)
+        visitors.append(visitor)
+    # base visitor declares a visit method per kind; impls override
+    for k, kind in enumerate(kinds):
+        with b.method(visitor_base, f"visit{k}", params=("node",)) as m:
+            m.ret("node")
+        for visitor in visitors:
+            with b.method(visitor, f"visit{k}", params=("node",)) as m:
+                child = m.load("node", "child")
+                m.ret(child)
+    # each node kind accepts by double dispatch
+    with b.method(node_base, "accept", params=("v",)) as m:
+        m.ret("this")
+    for k, kind in enumerate(kinds):
+        with b.method(kind, "accept", params=("v",)) as m:
+            r = m.invoke("v", f"visit{k}", "this", target=m.fresh_var("vr"))
+            m.ret(r)
+    holder = world.unique("VisitModule")
+    b.add_class(holder)
+    for s in range(sites):
+        kind = kinds[s % len(kinds)]
+        child_kind = kinds[(s + 1) % len(kinds)]
+        visitor = rng.choice(visitors)
+        method_name = f"walk{s}"
+        with b.method(holder, method_name, static=True) as m:
+            node = m.new(kind)
+            child = m.new(child_kind)
+            m.store(node, "child", child)
+            v = m.new(visitor)
+            m.invoke(node, "accept", v, target=m.fresh_var("out"))
+            m.ret(node)
+        world.add_driver(holder, method_name)

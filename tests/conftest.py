@@ -1,0 +1,40 @@
+"""Shared fixtures: paper example programs and tiny workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.workloads import TINY, generate
+
+#: The literal program of Figure 1 (site numbering matches the paper's
+#: o1..o6 through allocation order).
+FIGURE1_SOURCE = """
+class A { field f: A; method foo() { return this; } }
+class B extends A { method foo() { return this; } }
+class C extends A { method foo() { return this; } }
+main {
+  x = new A();
+  y = new A();
+  z = new A();
+  xf = new B();
+  x.f = xf;
+  yf = new C();
+  y.f = yf;
+  zf = new C();
+  z.f = zf;
+  a = z.f;
+  a.foo();
+  c = (C) a;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def figure1_program():
+    return parse_program(FIGURE1_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def tiny_program():
+    return generate(TINY)

@@ -1,0 +1,87 @@
+"""Hypothesis strategy generating small well-formed IR programs.
+
+Programs are built through :class:`~repro.ir.builder.ProgramBuilder`
+so they are valid by construction: every referenced class/field/method
+exists, every used variable was defined (points-to-wise a variable may
+still be empty, which the solver must tolerate).
+
+The generated shape: a small class pool with one level of inheritance,
+a shared ``f`` field, one virtual method per class, a couple of static
+helpers, and a straight-line ``main`` mixing allocations, copies,
+loads, stores, casts, and calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+from repro.ir.program import Program
+
+
+@st.composite
+def ir_programs(draw) -> Program:
+    n_classes = draw(st.integers(2, 4))
+    n_subclasses = draw(st.integers(0, 2))
+    builder = ProgramBuilder()
+    class_names: List[str] = []
+    for i in range(n_classes):
+        name = f"C{i}"
+        builder.add_class(name)
+        builder.add_field(name, "f", "Object")
+        class_names.append(name)
+    for i in range(n_subclasses):
+        parent = class_names[i % n_classes]
+        name = f"S{i}"
+        builder.add_class(name, parent)
+        class_names.append(name)
+    # one virtual method per class: returns either `this` or its field
+    for name in class_names:
+        returns_field = draw(st.booleans(), label=f"{name}_returns_field")
+        with builder.method(name, "m", params=("p",)) as mb:
+            if returns_field:
+                mb.store("this", "f", "p")
+                value = mb.load("this", "f")
+                mb.ret(value)
+            else:
+                mb.ret("this")
+    # one static helper: identity
+    builder.add_class("Util")
+    with builder.method("Util", "id", params=("x",), static=True) as mb:
+        mb.ret("x")
+
+    with builder.main() as mb:
+        defined: List[str] = []
+        statements = draw(st.integers(3, 14))
+        for index in range(statements):
+            choice = draw(
+                st.integers(0, 5 if defined else 0), label=f"stmt_{index}"
+            )
+            if choice == 0 or not defined:
+                cls = draw(st.sampled_from(class_names), label=f"new_{index}")
+                defined.append(mb.new(cls, target=f"v{index}"))
+            elif choice == 1:
+                source = draw(st.sampled_from(defined), label=f"cp_{index}")
+                mb.copy(f"v{index}", source)
+                defined.append(f"v{index}")
+            elif choice == 2:
+                base = draw(st.sampled_from(defined), label=f"ldb_{index}")
+                defined.append(mb.load(base, "f", target=f"v{index}"))
+            elif choice == 3:
+                base = draw(st.sampled_from(defined), label=f"stb_{index}")
+                source = draw(st.sampled_from(defined), label=f"sts_{index}")
+                mb.store(base, "f", source)
+            elif choice == 4:
+                base = draw(st.sampled_from(defined), label=f"ivb_{index}")
+                arg = draw(st.sampled_from(defined), label=f"iva_{index}")
+                mb.invoke(base, "m", arg, target=f"v{index}")
+                defined.append(f"v{index}")
+            else:
+                cls = draw(st.sampled_from(class_names), label=f"cst_{index}")
+                source = draw(st.sampled_from(defined), label=f"css_{index}")
+                defined.append(mb.cast(cls, source, target=f"v{index}"))
+        helper_arg = draw(st.sampled_from(defined), label="util_arg")
+        mb.static_invoke("Util", "id", helper_arg, target="util_result")
+    return builder.build()

@@ -1,0 +1,69 @@
+"""Hypothesis strategies for the core property tests.
+
+The central generator, :func:`field_points_to_graphs`, draws arbitrary
+(possibly cyclic) field points-to graphs over a small pool of types and
+field names — the exact input domain of the automata/merging layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.fpg import FieldPointsToGraph
+
+TYPE_POOL = ["T", "U", "V", "W", "X"]
+FIELD_POOL = ["f", "g", "h"]
+
+
+@st.composite
+def field_points_to_graphs(draw, min_objects: int = 1,
+                           max_objects: int = 8,
+                           allow_null_edges: bool = True) -> FieldPointsToGraph:
+    """An arbitrary FPG: objects 1..n with random types, random labeled
+    edges (cycles allowed), optionally null-field edges."""
+    n = draw(st.integers(min_objects, max_objects))
+    fpg = FieldPointsToGraph()
+    types = [
+        draw(st.sampled_from(TYPE_POOL), label=f"type_{obj}")
+        for obj in range(1, n + 1)
+    ]
+    for obj, type_name in zip(range(1, n + 1), types):
+        fpg.add_object(obj, type_name)
+    edge_count = draw(st.integers(0, 2 * n))
+    for _ in range(edge_count):
+        source = draw(st.integers(1, n))
+        field = draw(st.sampled_from(FIELD_POOL))
+        target = draw(st.integers(0 if allow_null_edges else 1, n))
+        fpg.add_edge(source, field, target)
+    return fpg
+
+
+@st.composite
+def dag_field_points_to_graphs(draw, max_objects: int = 7) -> FieldPointsToGraph:
+    """An acyclic FPG (edges only point to strictly larger ids), for
+    tests that compare against the bounded path-enumeration oracle."""
+    n = draw(st.integers(2, max_objects))
+    fpg = FieldPointsToGraph()
+    for obj in range(1, n + 1):
+        fpg.add_object(obj, draw(st.sampled_from(TYPE_POOL),
+                                 label=f"type_{obj}"))
+    edge_count = draw(st.integers(0, 2 * n))
+    for _ in range(edge_count):
+        source = draw(st.integers(1, n - 1))
+        field = draw(st.sampled_from(FIELD_POOL))
+        target = draw(st.integers(source + 1, n))
+        fpg.add_edge(source, field, target)
+    return fpg
+
+
+def object_pairs(fpg: FieldPointsToGraph) -> List[Tuple[int, int]]:
+    """All unordered same-type object pairs of an FPG."""
+    objs = sorted(fpg.objects())
+    return [
+        (a, b)
+        for i, a in enumerate(objs)
+        for b in objs[i + 1:]
+        if fpg.type_of(a) == fpg.type_of(b)
+    ]

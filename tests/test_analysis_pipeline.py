@@ -1,0 +1,96 @@
+"""Unit tests for analysis configuration parsing and the pipeline."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_BASELINES,
+    PAPER_CONFIGS,
+    parse_config,
+    run_analysis,
+    run_pre_analysis,
+)
+
+
+class TestConfigParsing:
+    @pytest.mark.parametrize("name, heap, sensitivity", [
+        ("ci", "alloc-site", "ci"),
+        ("2obj", "alloc-site", "2obj"),
+        ("M-3obj", "mahjong", "3obj"),
+        ("T-2type", "alloc-type", "2type"),
+        ("M-ci", "mahjong", "ci"),
+        ("T-2cs", "alloc-type", "2cs"),
+    ])
+    def test_valid_names(self, name, heap, sensitivity):
+        config = parse_config(name)
+        assert config.heap == heap
+        assert config.sensitivity == sensitivity
+        assert str(config) == name
+
+    @pytest.mark.parametrize("bad", ["M-", "X-2obj", "2objx", "m-2obj", ""])
+    def test_invalid_names(self, bad):
+        with pytest.raises(ValueError):
+            parse_config(bad)
+
+    def test_needs_pre_analysis_only_for_mahjong(self):
+        assert parse_config("M-2obj").needs_pre_analysis
+        assert not parse_config("2obj").needs_pre_analysis
+        assert not parse_config("T-2obj").needs_pre_analysis
+
+    def test_paper_config_lists(self):
+        assert len(PAPER_BASELINES) == 5
+        assert len(PAPER_CONFIGS) == 10
+        assert all(parse_config(c) for c in PAPER_CONFIGS)
+
+
+class TestPipeline:
+    def test_pre_analysis_artifacts(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        assert pre.result.selector_name == "ci"
+        assert len(pre.fpg) > 0
+        assert pre.merge.object_count_after <= pre.merge.object_count_before
+        assert pre.total_seconds >= 0
+        assert pre.abstraction.mom
+
+    def test_mahjong_run_builds_pre_automatically(self, tiny_program):
+        run = run_analysis(tiny_program, "M-2obj")
+        assert run.pre is not None
+        assert run.succeeded
+
+    def test_pre_artifacts_are_reused_when_passed(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        run = run_analysis(tiny_program, "M-2obj", pre=pre)
+        assert run.pre is pre
+
+    def test_non_mahjong_run_has_no_pre(self, tiny_program):
+        run = run_analysis(tiny_program, "2obj")
+        assert run.pre is None
+
+    def test_metrics_keys(self, tiny_program):
+        metrics = run_analysis(tiny_program, "M-2cs").metrics()
+        for key in ("analysis", "main_seconds", "call_graph_edges",
+                    "poly_call_sites", "may_fail_casts", "abstract_objects",
+                    "pre_seconds"):
+            assert key in metrics
+        assert metrics["analysis"] == "M-2cs"
+
+    def test_metrics_cached(self, tiny_program):
+        run = run_analysis(tiny_program, "ci")
+        assert run.metrics() is run.metrics()
+
+    def test_timeout_marks_run(self, tiny_program):
+        run = run_analysis(tiny_program, "2obj", timeout_seconds=0.0)
+        assert run.timed_out
+        assert not run.succeeded
+        metrics = run.metrics()
+        assert metrics["timed_out"] is True
+        assert "call_graph_edges" not in metrics
+
+    def test_mahjong_uses_fewer_objects(self, tiny_program):
+        base = run_analysis(tiny_program, "2obj").metrics()
+        mahjong = run_analysis(tiny_program, "M-2obj").metrics()
+        assert mahjong["abstract_objects"] < base["abstract_objects"]
+
+    def test_alloc_type_uses_fewest_site_keys(self, tiny_program):
+        t_run = run_analysis(tiny_program, "T-ci").metrics()
+        ci_run = run_analysis(tiny_program, "ci").metrics()
+        assert t_run["abstract_objects"] <= ci_run["abstract_objects"]

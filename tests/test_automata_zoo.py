@@ -1,0 +1,197 @@
+"""An equivalence zoo: hand-constructed FPG shapes, each pinning one
+distinct behaviour of the type-consistency check.
+
+Complements the random property tests with cases a fuzzer hits rarely:
+deep diamonds, self-loops vs longer cycles, shared tails, sibling
+nondeterminism, error-vs-null distinctions, and Condition-1/Condition-2
+interaction.
+"""
+
+import pytest
+
+from repro.core import (
+    FieldPointsToGraph,
+    SharedAutomata,
+    merge_type_consistent_objects,
+    shared_equivalent,
+)
+
+
+def check(fpg, a, b):
+    shared = SharedAutomata(fpg)
+    if not (shared.singletype(a) and shared.singletype(b)):
+        return False
+    return shared_equivalent(shared.dfa_root(a), shared.dfa_root(b))
+
+
+def graph(objects, edges, nulls=()):
+    fpg = FieldPointsToGraph()
+    for obj, type_name in objects:
+        fpg.add_object(obj, type_name)
+    for source, field_name, target in edges:
+        fpg.add_edge(source, field_name, target)
+    for source, field_name in nulls:
+        fpg.add_null_field(source, field_name)
+    return fpg
+
+
+class TestShapes:
+    def test_deep_chains_equivalent(self):
+        fpg = graph(
+            [(i, t) for i, t in enumerate("TUVWX", start=1)]
+            + [(i + 10, t) for i, t in enumerate("TUVWX", start=1)],
+            [(i, "f", i + 1) for i in range(1, 5)]
+            + [(i + 10, "f", i + 11) for i in range(1, 5)],
+        )
+        assert check(fpg, 1, 11)
+
+    def test_diamond_vs_straight_line(self):
+        # 1 -f-> {2,3} -g-> 4  vs  5 -f-> 6 -g-> 7 : same behaviour
+        fpg = graph(
+            [(1, "T"), (2, "U"), (3, "U"), (4, "X"),
+             (5, "T"), (6, "U"), (7, "X")],
+            [(1, "f", 2), (1, "f", 3), (2, "g", 4), (3, "g", 4),
+             (5, "f", 6), (6, "g", 7)],
+        )
+        assert check(fpg, 1, 5)
+
+    def test_diamond_with_divergent_arm(self):
+        # one arm continues, the other does not: still merged as a set,
+        # the subset construction sees {2,3} -g-> {4}
+        fpg = graph(
+            [(1, "T"), (2, "U"), (3, "U"), (4, "X"),
+             (5, "T"), (6, "U"), (7, "X")],
+            [(1, "f", 2), (1, "f", 3), (2, "g", 4),
+             (5, "f", 6), (6, "g", 7)],
+        )
+        assert check(fpg, 1, 5)
+
+    def test_self_loop_vs_two_cycle(self):
+        fpg = graph(
+            [(1, "T"), (2, "T"), (3, "T")],
+            [(1, "f", 1), (2, "f", 3), (3, "f", 2)],
+        )
+        assert check(fpg, 1, 2)
+
+    def test_self_loop_vs_lasso(self):
+        # 1: T with f self-loop; 4: T -f-> T -f-> (cycle back to itself)
+        fpg = graph(
+            [(1, "T"), (4, "T"), (5, "T")],
+            [(1, "f", 1), (4, "f", 5), (5, "f", 5)],
+        )
+        assert check(fpg, 1, 4)
+
+    def test_cycle_through_different_type_breaks_equivalence(self):
+        fpg = graph(
+            [(1, "T"), (2, "T"), (3, "T"), (4, "U")],
+            [(1, "f", 1), (2, "f", 3), (3, "f", 4), (4, "f", 2)],
+        )
+        assert not check(fpg, 1, 2)
+
+    def test_shared_tail(self):
+        # two roots pointing into the SAME subgraph are trivially merged
+        fpg = graph(
+            [(1, "T"), (2, "T"), (3, "U"), (4, "V")],
+            [(1, "f", 3), (2, "f", 3), (3, "g", 4)],
+        )
+        assert check(fpg, 1, 2)
+        shared = SharedAutomata(fpg)
+        # and their successor state object is literally shared
+        assert shared.dfa_root(1).transitions["f"] is \
+            shared.dfa_root(2).transitions["f"]
+
+    def test_alphabet_mismatch(self):
+        # same type, one has an extra field: one-symbol distinguisher
+        fpg = graph(
+            [(1, "T"), (2, "T"), (3, "U"), (4, "U"), (5, "V")],
+            [(1, "f", 3), (2, "f", 4), (2, "g", 5)],
+        )
+        assert not check(fpg, 1, 2)
+
+    def test_depth_two_difference(self):
+        fpg = graph(
+            [(1, "T"), (2, "U"), (3, "V"),
+             (4, "T"), (5, "U"), (6, "W")],
+            [(1, "f", 2), (2, "f", 3), (4, "f", 5), (5, "f", 6)],
+        )
+        assert not check(fpg, 1, 4)
+
+    def test_null_tail_vs_null_tail_at_depth(self):
+        fpg = graph(
+            [(1, "T"), (2, "U"), (3, "T"), (4, "U")],
+            [(1, "f", 2), (3, "f", 4)],
+            nulls=[(2, "g"), (4, "g")],
+        )
+        assert check(fpg, 1, 3)
+
+    def test_null_tail_vs_missing_tail_at_depth(self):
+        fpg = graph(
+            [(1, "T"), (2, "U"), (3, "T"), (4, "U")],
+            [(1, "f", 2), (3, "f", 4)],
+            nulls=[(2, "g")],
+        )
+        assert not check(fpg, 1, 3)
+
+    def test_condition2_violation_deep_in_one_graph(self):
+        # roots look identical one hop out; three hops out, one frontier
+        # mixes types — SINGLETYPE must reject both for merging purposes
+        fpg = graph(
+            [(1, "T"), (2, "U"), (3, "V"), (8, "X"), (9, "Y"),
+             (11, "T"), (12, "U"), (13, "V"), (18, "X")],
+            [(1, "f", 2), (2, "f", 3), (3, "f", 8), (3, "f", 9),
+             (11, "f", 12), (12, "f", 13), (13, "f", 18)],
+        )
+        shared = SharedAutomata(fpg)
+        assert not shared.singletype(1)
+        assert shared.singletype(11)
+        result = merge_type_consistent_objects(fpg)
+        assert result.mom[1] != result.mom[11]
+
+    def test_wide_nondeterminism_collapses(self):
+        # ten same-type successors behave like one
+        objects = [(1, "T"), (50, "T"), (51, "U")]
+        edges = [(50, "f", 51)]
+        for i in range(2, 12):
+            objects.append((i, "U"))
+            edges.append((1, "f", i))
+        fpg = graph(objects, edges)
+        assert check(fpg, 1, 50)
+
+    def test_field_name_permutation_matters(self):
+        fpg = graph(
+            [(1, "T"), (2, "U"), (3, "V"),
+             (4, "T"), (5, "U"), (6, "V")],
+            [(1, "f", 2), (1, "g", 3), (4, "f", 5), (4, "g", 6)],
+        )
+        assert check(fpg, 1, 4)
+        fpg2 = graph(
+            [(1, "T"), (2, "U"), (3, "V"),
+             (4, "T"), (5, "U"), (6, "V")],
+            [(1, "f", 2), (1, "g", 3), (4, "g", 5), (4, "f", 6)],
+        )
+        assert not check(fpg2, 1, 4)
+
+    def test_reflexivity_on_every_zoo_member(self):
+        fpg = graph(
+            [(1, "T"), (2, "U"), (3, "T")],
+            [(1, "f", 2), (2, "f", 1), (3, "f", 3)],
+        )
+        for obj in fpg.objects():
+            assert check(fpg, obj, obj)
+
+
+class TestMergeOnZoo:
+    def test_quotient_on_mixed_zoo(self):
+        fpg = graph(
+            [(1, "T"), (2, "T"), (3, "T"), (4, "U"), (5, "U"), (6, "V")],
+            [(1, "f", 4), (2, "f", 5), (3, "f", 6), (4, "g", 6),
+             (5, "g", 6)],
+        )
+        result = merge_type_consistent_objects(fpg)
+        classes = sorted(tuple(sorted(c)) for c in result.classes)
+        # 1≡2 (U children with V grandchildren); 3 differs (V child);
+        # 4≡5; 6 alone
+        assert (1, 2) in classes
+        assert (3,) in classes
+        assert (4, 5) in classes
+        assert (6,) in classes

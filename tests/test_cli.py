@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import FIGURE1_SOURCE
+
+
+@pytest.fixture
+def figure1_file(tmp_path):
+    path = tmp_path / "figure1.mj"
+    path.write_text(FIGURE1_SOURCE)
+    return str(path)
+
+
+def test_analyze_prints_metrics(figure1_file, capsys):
+    assert main(["analyze", figure1_file, "--analysis", "M-2obj"]) == 0
+    out = capsys.readouterr().out
+    assert "call_graph_edges: 1" in out
+    assert "may_fail_casts: 0" in out
+
+
+def test_analyze_default_analysis(figure1_file, capsys):
+    assert main(["analyze", figure1_file]) == 0
+    assert "analysis: M-2obj" in capsys.readouterr().out
+
+
+def test_merge_prints_classes(figure1_file, capsys):
+    assert main(["merge", figure1_file]) == 0
+    out = capsys.readouterr().out
+    assert "objects: 6 -> 4" in out
+
+
+def test_generate_to_stdout(capsys):
+    assert main(["generate", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "class StringBuilder" in out
+    assert "main {" in out
+
+
+def test_generate_to_file(tmp_path, capsys):
+    target = tmp_path / "workload.mj"
+    assert main(["generate", "tiny", "-o", str(target)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    from repro.frontend import parse_program
+
+    program = parse_program(target.read_text())
+    assert program.stats()["alloc_sites"] > 0
+
+
+def test_generated_file_reanalyzable(tmp_path, capsys):
+    target = tmp_path / "workload.mj"
+    main(["generate", "tiny", "-o", str(target)])
+    assert main(["analyze", str(target), "--analysis", "M-2cs"]) == 0
+
+
+def test_unknown_command_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_bench_dispatch_unknown_harness(capsys):
+    assert main(["bench", "nope"]) == 2
+
+
+def test_viz_fpg_to_stdout(figure1_file, capsys):
+    assert main(["viz", figure1_file, "--merged"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith('digraph "FPG"')
+    assert "->" in out
+
+
+def test_viz_hierarchy(figure1_file, capsys):
+    assert main(["viz", figure1_file, "--kind", "hierarchy"]) == 0
+    assert '"A" -> "B";' in capsys.readouterr().out
+
+
+def test_viz_callgraph_to_file(figure1_file, tmp_path, capsys):
+    target = tmp_path / "cg.dot"
+    assert main(["viz", figure1_file, "--kind", "callgraph",
+                 "-o", str(target)]) == 0
+    assert "C.foo" in target.read_text()
+
+
+def test_report_json(figure1_file, tmp_path):
+    import json
+
+    target = tmp_path / "report.json"
+    assert main(["report", figure1_file, "--analyses", "ci,M-ci",
+                 "-o", str(target)]) == 0
+    payload = json.loads(target.read_text())
+    assert payload["program"]["alloc_sites"] == 6
+    assert payload["analyses"]["M-ci"]["call_graph_edges"] == 1
+    assert payload["pre_analysis"]["merge"]["objects_after"] == 4

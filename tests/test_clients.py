@@ -1,0 +1,130 @@
+"""Unit tests for the three type-dependent clients."""
+
+from repro.clients import build_call_graph, check_casts, devirtualize
+from repro.frontend import parse_program
+from repro.pta import selector_for, solve
+
+
+POLY_SOURCE = """
+class A { method foo() { return this; } }
+class B extends A { method foo() { return this; } }
+class U {
+  static method pick(x, y) { r = x; r = y; return r; }
+}
+main {
+  a = new A();
+  b = new B();
+  m = U::pick(a, b);
+  m.foo();
+  a.foo();
+  c = (B) m;
+  d = (A) a;
+}
+"""
+
+
+def result():
+    return solve(parse_program(POLY_SOURCE))
+
+
+class TestCallGraph:
+    def test_edges_include_static_and_virtual(self):
+        cg = build_call_graph(result())
+        edges = {callee for _, callee in cg.edges}
+        assert edges == {"U.pick", "A.foo", "B.foo"}
+
+    def test_virtual_targets_per_site(self):
+        cg = build_call_graph(result())
+        # call site 2 is m.foo() (poly), 3 is a.foo() (mono)
+        assert cg.targets_of(2) == frozenset(["A.foo", "B.foo"])
+        assert cg.targets_of(3) == frozenset(["A.foo"])
+
+    def test_static_sites_tracked_separately(self):
+        cg = build_call_graph(result())
+        assert cg.static_sites == frozenset([1])
+        assert 1 not in cg.virtual_site_targets
+
+    def test_reachable_methods(self):
+        cg = build_call_graph(result())
+        assert "<Main>.main" in cg.reachable_methods
+        assert cg.reachable_method_count == 4
+
+    def test_edge_count_metric(self):
+        cg = build_call_graph(result())
+        assert cg.edge_count == 4  # pick, A.foo(x2 sites), B.foo
+
+
+class TestDevirtualization:
+    def test_classification(self):
+        report = devirtualize(result())
+        assert report.poly_sites == frozenset([2])
+        assert report.mono_sites == frozenset([3])
+        assert report.poly_call_site_count == 1
+        assert report.mono_call_site_count == 1
+
+    def test_accepts_prebuilt_call_graph(self):
+        cg = build_call_graph(result())
+        assert devirtualize(cg) == devirtualize(result())
+
+    def test_unresolved_sites(self):
+        src = """
+        class A { method foo() { return this; } }
+        class U { static method none() { x = null; return x; } }
+        main { a = U::none(); a.foo(); }
+        """
+        report = devirtualize(solve(parse_program(src)))
+        assert report.unresolved_sites == frozenset([2])
+        assert report.poly_call_site_count == 0
+
+    def test_ratio(self):
+        report = devirtualize(result())
+        assert report.devirtualization_ratio == 0.5
+
+
+class TestMayFailCasts:
+    def test_classification(self):
+        report = check_casts(result())
+        # cast site 1 is (B) m — m may hold an A — may fail;
+        # cast site 2 is (A) a — upcast — safe.
+        assert report.may_fail_sites == frozenset([1])
+        assert report.safe_sites == frozenset([2])
+        assert report.may_fail_count == 1
+        assert report.safe_count == 1
+
+    def test_offending_classes(self):
+        report = check_casts(result())
+        assert report.offenders_of(1) == frozenset(["A"])
+        assert report.offenders_of(2) == frozenset()
+
+    def test_empty_source_cast_is_safe(self):
+        src = """
+        class A { }
+        class U { static method none() { x = null; return x; } }
+        main { n = U::none(); c = (A) n; }
+        """
+        report = check_casts(solve(parse_program(src)))
+        assert report.may_fail_count == 0
+        assert report.safe_sites == frozenset([1])
+
+    def test_precision_depends_on_analysis(self):
+        src = """
+        class Box {
+          field content: Object;
+          method put(e) { this.content = e; }
+          method get() { r = this.content; return r; }
+        }
+        class A { }
+        class B { }
+        main {
+          b1 = new Box(); b2 = new Box();
+          x = new A(); y = new B();
+          b1.put(x); b2.put(y);
+          gx = b1.get();
+          c = (A) gx;
+        }
+        """
+        program = parse_program(src)
+        ci = check_casts(solve(program, selector_for("ci")))
+        obj2 = check_casts(solve(program, selector_for("2obj")))
+        assert ci.may_fail_count == 1   # b1/b2 conflated
+        assert obj2.may_fail_count == 0  # receivers separated

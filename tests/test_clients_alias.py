@@ -1,0 +1,111 @@
+"""Tests for the may-alias client, including the paper's scoping caveat:
+MAHJONG trades may-alias precision for speed while preserving the
+type-dependent clients."""
+
+import pytest
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.clients import alias_pairs, may_alias
+from repro.frontend import parse_program
+from repro.pta import solve
+
+SOURCE = """
+class A { field f: Object; }
+main {
+  a = new A();
+  b = a;
+  c = new A();
+  v = new Object();
+  a.f = v;
+  w = a.f;
+  u = b.f;
+}
+"""
+
+
+def result():
+    return solve(parse_program(SOURCE))
+
+
+class TestMayAlias:
+    def test_copies_alias(self):
+        assert may_alias(result(), "<Main>.main", "a", "b")
+
+    def test_distinct_allocations_do_not_alias(self):
+        assert not may_alias(result(), "<Main>.main", "a", "c")
+
+    def test_loads_from_aliased_bases_alias(self):
+        assert may_alias(result(), "<Main>.main", "w", "u")
+        assert may_alias(result(), "<Main>.main", "w", "v")
+
+    def test_empty_variable_never_aliases(self):
+        assert not may_alias(result(), "<Main>.main", "a", "ghost")
+
+
+class TestAliasPairs:
+    def test_pairs_are_unordered_and_complete(self):
+        report = alias_pairs(result(), "<Main>.main")
+        assert ("a", "b") in report.alias_pairs
+        assert ("u", "w") in report.alias_pairs
+        assert ("u", "v") in report.alias_pairs
+        assert not any(p == ("a", "c") or p == ("c", "a")
+                       for p in report.alias_pairs)
+        assert report.aliases("b", "a")  # order-insensitive query
+
+    def test_variable_count_covers_all_locals(self):
+        report = alias_pairs(result(), "<Main>.main")
+        assert report.variable_count == 6  # a b c v w u (main is static)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            alias_pairs(result(), "Ghost.method")
+
+
+class TestMahjongAliasCaveat:
+    """Section 1: MAHJONG serves type-dependent clients, 'but not
+    necessarily others such as may-alias'."""
+
+    SOURCE = """
+    class Box { field data: Object; }
+    class X { }
+    main {
+      b1 = new Box();
+      b2 = new Box();
+      x1 = new X();
+      x2 = new X();
+      b1.data = x1;
+      b2.data = x2;
+      g1 = b1.data;
+      g2 = b2.data;
+    }
+    """
+
+    def test_merging_introduces_spurious_aliases(self):
+        program = parse_program(self.SOURCE)
+        pre = run_pre_analysis(program)
+        base = run_analysis(program, "ci").result
+        mahjong = run_analysis(program, "M-ci", pre=pre).result
+
+        # precise: b1 and b2 are distinct objects, so are their contents
+        assert not may_alias(base, "<Main>.main", "b1", "b2")
+        assert not may_alias(base, "<Main>.main", "g1", "g2")
+        # merged: the two boxes (and the two X payloads) collapse
+        assert may_alias(mahjong, "<Main>.main", "b1", "b2")
+        assert may_alias(mahjong, "<Main>.main", "g1", "g2")
+
+    def test_type_dependent_metrics_survive_anyway(self):
+        program = parse_program(self.SOURCE)
+        base = run_analysis(program, "ci").metrics()
+        mahjong = run_analysis(program, "M-ci").metrics()
+        for metric in ("call_graph_edges", "poly_call_sites",
+                       "may_fail_casts"):
+            assert base[metric] == mahjong[metric]
+
+    def test_alias_pair_count_only_grows_under_merging(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        base = run_analysis(tiny_program, "ci").result
+        mahjong = run_analysis(tiny_program, "M-ci", pre=pre).result
+        for method in ("<Main>.main", "Box.get"):
+            base_report = alias_pairs(base, method)
+            mahjong_report = alias_pairs(mahjong, method)
+            assert base_report.alias_pair_count <= mahjong_report.alias_pair_count

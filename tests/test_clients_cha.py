@@ -1,0 +1,83 @@
+"""Tests for the CHA call-graph baseline."""
+
+import pytest
+
+from repro.clients import build_call_graph, build_cha_call_graph, devirtualize
+from repro.frontend import parse_program
+from repro.pta import solve
+from repro.workloads import TINY, generate
+
+
+SOURCE = """
+class A { method foo() { return this; } }
+class B extends A { method foo() { return this; } }
+class C extends A { }
+main {
+  a = new A();
+  a.foo();
+}
+"""
+
+
+class TestChaResolution:
+    def test_virtual_call_targets_all_overrides(self):
+        cha = build_cha_call_graph(parse_program(SOURCE))
+        # CHA cannot see that the receiver is exactly an A: it includes
+        # B.foo; C inherits A.foo so adds no new target.
+        assert cha.targets_of(1) == frozenset(["A.foo", "B.foo"])
+
+    def test_static_calls_resolve_exactly(self):
+        src = """
+        class U { static method go() { x = new Object(); return x; } }
+        main { r = U::go(); }
+        """
+        cha = build_cha_call_graph(parse_program(src))
+        assert (1, "U.go") in cha.edges
+        assert cha.static_sites == frozenset([1])
+
+    def test_reachability_is_over_cha_edges(self):
+        src = """
+        class A { method live() { return this; } }
+        class Dead { method unrelated(x) { return x; } }
+        main { a = new A(); a.live(); }
+        """
+        cha = build_cha_call_graph(parse_program(src))
+        assert "A.live" in cha.reachable_methods
+        assert "Dead.unrelated" not in cha.reachable_methods
+
+    def test_arity_mismatches_excluded(self):
+        src = """
+        class A { method m() { return this; } }
+        class B { method m(x) { return x; } }
+        main { a = new A(); a.m(); }
+        """
+        cha = build_cha_call_graph(parse_program(src))
+        assert cha.targets_of(1) == frozenset(["A.m"])
+
+    def test_entry_required(self):
+        from repro.ir.program import Program
+        from repro.ir.types import TypeHierarchy
+
+        with pytest.raises(ValueError):
+            build_cha_call_graph(Program(TypeHierarchy()))
+
+
+class TestChaVsPointsTo:
+    def test_cha_over_approximates_ci(self):
+        program = generate(TINY)
+        cha = build_cha_call_graph(program)
+        ci = build_call_graph(solve(program))
+        assert ci.edges <= cha.edges
+        assert ci.reachable_methods <= cha.reachable_methods
+
+    def test_cha_devirtualizes_less(self):
+        program = generate(TINY)
+        cha_report = devirtualize(build_cha_call_graph(program))
+        ci_report = devirtualize(build_call_graph(solve(program)))
+        assert cha_report.poly_call_site_count >= ci_report.poly_call_site_count
+
+    def test_figure1_cha_cannot_devirtualize(self, figure1_program):
+        cha = build_cha_call_graph(figure1_program)
+        ci = build_call_graph(solve(figure1_program))
+        assert len(cha.targets_of(1)) == 3  # A.foo, B.foo, C.foo
+        assert len(ci.targets_of(1)) == 1   # points-to proves C.foo

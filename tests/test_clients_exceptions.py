@@ -1,0 +1,149 @@
+"""Tests for exceptional flow and the escaping-exception client."""
+
+import pytest
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.clients import analyze_exceptions
+from repro.frontend import parse_program
+from repro.pta import selector_for, solve
+
+SOURCE = """
+class Error { }
+class IoError extends Error { }
+class ParseError extends Error { }
+class Reader {
+  method read() {
+    e = new IoError();
+    throw e;
+  }
+}
+class Parser {
+  method parse(r) {
+    data = r.read();
+    p = new ParseError();
+    throw p;
+    return data;
+  }
+  method safeParse(r) {
+    data = this.parse(r);
+    caught = catch (IoError);
+    return data;
+  }
+}
+main {
+  reader = new Reader();
+  parser = new Parser();
+  out = parser.safeParse(reader);
+}
+"""
+
+
+def result(selector="ci"):
+    return solve(parse_program(SOURCE), selector_for(selector))
+
+
+class TestExceptionFlow:
+    def test_throw_reaches_own_method_exit(self):
+        r = result()
+        classes = {
+            r.object_class(o) for o in r.exception_points_to("Reader.read")
+        }
+        assert classes == {"IoError"}
+
+    def test_exceptions_propagate_through_calls(self):
+        r = result()
+        classes = {
+            r.object_class(o) for o in r.exception_points_to("Parser.parse")
+        }
+        assert classes == {"IoError", "ParseError"}
+
+    def test_catch_binds_matching_subtypes_only(self):
+        r = result()
+        caught = {
+            d.class_name
+            for d in r.var_points_to("Parser.safeParse", "caught")
+        }
+        assert caught == {"IoError"}
+
+    def test_methods_without_throws_have_empty_exit(self):
+        src = "class A { method quiet() { return this; } } main { a = new A(); a.quiet(); }"
+        r = solve(parse_program(src))
+        assert r.exception_points_to("A.quiet") == set()
+
+
+class TestEscapeClient:
+    def test_escaping_classes(self):
+        report = analyze_exceptions(result())
+        # flow-insensitive catching does not stop propagation, so both
+        # escape; the client reports class-level answers
+        assert report.escaping_classes == frozenset({"IoError", "ParseError"})
+        assert report.escaping_class_count == 2
+
+    def test_per_method_summaries(self):
+        report = analyze_exceptions(result())
+        assert report.may_throw("Reader.read") == frozenset({"IoError"})
+        assert "quiet" not in report.per_method
+
+    def test_program_without_exceptions(self, tiny_program):
+        report = analyze_exceptions(solve(tiny_program))
+        assert report.escaping_classes == frozenset()
+        assert report.per_method == {}
+
+
+class TestTypeDependence:
+    """Escaping exceptions are a type-dependent client: MAHJONG must
+    preserve the answer."""
+
+    MERGEABLE = """
+    class Error { }
+    class Thrower {
+      field cause: Error;
+      method boom() {
+        e = new Error();
+        this.cause = e;
+        throw e;
+      }
+    }
+    main {
+      t1 = new Thrower();
+      t2 = new Thrower();
+      t1.boom();
+      t2.boom();
+    }
+    """
+
+    def test_mahjong_preserves_escaping_classes(self):
+        program = parse_program(self.MERGEABLE)
+        pre = run_pre_analysis(program)
+        # the two Thrower sites are type-consistent and merge
+        thrower_sites = [
+            site for site, stmt in program.alloc_sites().items()
+            if stmt.class_name == "Thrower"
+        ]
+        assert len({pre.merge.mom[s] for s in thrower_sites}) == 1
+        base = analyze_exceptions(run_analysis(program, "2obj").result)
+        merged = analyze_exceptions(
+            run_analysis(program, "M-2obj", pre=pre).result
+        )
+        assert base.escaping_classes == merged.escaping_classes
+
+    def test_context_sensitivity_and_exceptions_compose(self):
+        program = parse_program(SOURCE)
+        for config in ("2cs", "2obj", "2type"):
+            report = analyze_exceptions(
+                run_analysis(program, config).result
+            )
+            assert report.escaping_classes == frozenset(
+                {"IoError", "ParseError"}
+            )
+
+
+class TestRoundTrip:
+    def test_throw_catch_print_parse(self):
+        from repro.ir.printer import print_program
+
+        program = parse_program(SOURCE)
+        reparsed = parse_program(print_program(program))
+        assert reparsed.stats() == program.stats()
+        r = solve(reparsed)
+        assert analyze_exceptions(r).escaping_class_count == 2

@@ -1,0 +1,143 @@
+"""Exact context-shape integration tests.
+
+The selector unit tests check truncation arithmetic; these check the
+*actual context tuples* the solver produces on small programs, for each
+sensitivity — including how MAHJONG rewrites them (empty heap contexts
+for merged objects, representative sites as elements).
+"""
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.frontend import parse_program
+from repro.pta import selector_for, solve
+
+NESTED = """
+class Inner { method leaf() { return this; } }
+class Outer {
+  method makeInner() {
+    i = new Inner();
+    r = i.leaf();
+    return i;
+  }
+}
+main {
+  o1 = new Outer();
+  o2 = new Outer();
+  a = o1.makeInner();
+  b = o2.makeInner();
+}
+"""
+# Sites: 1 = new Inner (in Outer.makeInner), 2 = new Outer (o1),
+# 3 = new Outer (o2).
+
+
+class TestCallSiteContexts:
+    def test_1cs_contexts_are_single_call_sites(self):
+        r = solve(parse_program(NESTED), selector_for("1cs"))
+        contexts = r.contexts_of_method("Outer.makeInner")
+        # called from call sites 2 and 3 (site 1 is i.leaf())
+        assert contexts == {(2,), (3,)}
+
+    def test_2cs_contexts_are_chains(self):
+        r = solve(parse_program(NESTED), selector_for("2cs"))
+        leaf_contexts = r.contexts_of_method("Inner.leaf")
+        # leaf called at site 1 from makeInner under (2,) and (3,)
+        assert leaf_contexts == {(2, 1), (3, 1)}
+
+    def test_main_always_empty_context(self):
+        r = solve(parse_program(NESTED), selector_for("2cs"))
+        assert r.contexts_of_method("<Main>.main") == {()}
+
+
+class TestObjectContexts:
+    def test_2obj_contexts_are_receiver_sites(self):
+        r = solve(parse_program(NESTED), selector_for("2obj"))
+        contexts = r.contexts_of_method("Outer.makeInner")
+        assert contexts == {(2,), (3,)}
+
+    def test_2obj_heap_contexts_on_inner_objects(self):
+        r = solve(parse_program(NESTED), selector_for("2obj"))
+        inner_heap_ctxs = {
+            r.object_heap_context(o)
+            for o in r.objects() if r.object_class(o) == "Inner"
+        }
+        # one Inner per Outer receiver: heap ctx = (receiver site,)
+        assert inner_heap_ctxs == {(2,), (3,)}
+
+    def test_3obj_leaf_contexts_chain_receivers(self):
+        r = solve(parse_program(NESTED), selector_for("3obj"))
+        leaf_contexts = r.contexts_of_method("Inner.leaf")
+        # receiver Inner allocated at site 1 under heap ctx (outer site,)
+        assert leaf_contexts == {(2, 1), (3, 1)}
+
+
+class TestTypeContexts:
+    def test_2type_contexts_are_containing_classes(self):
+        r = solve(parse_program(NESTED), selector_for("2type"))
+        contexts = r.contexts_of_method("Outer.makeInner")
+        # both Outers allocated in <Main>, so one merged context
+        assert contexts == {("<Main>",)}
+
+    def test_2type_inner_context_is_declaring_class(self):
+        r = solve(parse_program(NESTED), selector_for("2type"))
+        leaf_contexts = r.contexts_of_method("Inner.leaf")
+        # Inner allocated inside class Outer
+        assert leaf_contexts == {("<Main>", "Outer")}
+
+
+class TestMahjongContextRewriting:
+    MERGEABLE = """
+    class Holder {
+      field kept: Thing;
+      method fill() {
+        t = new Thing();
+        this.kept = t;
+        r = t.poke();
+        return t;
+      }
+    }
+    class Thing { method poke() { return this; } }
+    main {
+      h1 = new Holder();
+      h2 = new Holder();
+      a = h1.fill();
+      b = h2.fill();
+    }
+    """
+    # Sites: 1 = new Thing (in fill), 2/3 = the Holders.
+
+    def test_merged_receivers_collapse_contexts(self):
+        program = parse_program(self.MERGEABLE)
+        pre = run_pre_analysis(program)
+        assert pre.merge.mom[2] == pre.merge.mom[3]  # Holders merge
+        base = run_analysis(program, "2obj").result
+        merged = run_analysis(program, "M-2obj", pre=pre).result
+        assert base.contexts_of_method("Holder.fill") == {(2,), (3,)}
+        # after merging, one context, keyed by the representative site
+        representative = pre.merge.mom[2]
+        assert merged.contexts_of_method("Holder.fill") == {
+            (representative,)
+        }
+
+    def test_merged_objects_have_empty_heap_context(self):
+        program = parse_program(self.MERGEABLE)
+        pre = run_pre_analysis(program)
+        merged = run_analysis(program, "M-3obj", pre=pre).result
+        for obj in merged.objects():
+            if merged.object_class(obj) == "Holder":
+                assert merged.object_heap_context(obj) == ()
+
+    def test_unmerged_objects_keep_heap_contexts(self):
+        # the single Thing site is its own class (size 1): NOT merged,
+        # so it still gets per-receiver heap contexts under M-2obj...
+        program = parse_program(self.MERGEABLE)
+        pre = run_pre_analysis(program)
+        assert pre.abstraction.class_size(1) == 1
+        merged = run_analysis(program, "M-2obj", pre=pre).result
+        thing_ctxs = {
+            merged.object_heap_context(o)
+            for o in merged.objects()
+            if merged.object_class(o) == "Thing"
+        }
+        # ...but its allocator's contexts merged into one, so one ctx
+        representative = pre.merge.mom[2]
+        assert thing_ctxs == {(representative,)}

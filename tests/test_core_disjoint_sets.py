@@ -1,0 +1,99 @@
+"""Unit and property tests for the disjoint-set forest."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.disjoint_sets import DisjointSets, NaiveDisjointSets
+
+
+class TestBasics:
+    def test_fresh_elements_are_singletons(self):
+        s = DisjointSets([1, 2, 3])
+        assert s.find(1) == 1
+        assert not s.connected(1, 2)
+        assert len(s) == 3
+
+    def test_union_connects(self):
+        s = DisjointSets([1, 2, 3])
+        s.union(1, 2)
+        assert s.connected(1, 2)
+        assert not s.connected(1, 3)
+
+    def test_union_is_transitive(self):
+        s = DisjointSets(range(4))
+        s.union(0, 1)
+        s.union(2, 3)
+        s.union(1, 2)
+        assert s.connected(0, 3)
+
+    def test_find_adds_unknown_elements(self):
+        s = DisjointSets()
+        assert s.find("x") == "x"
+        assert "x" in s
+
+    def test_union_idempotent(self):
+        s = DisjointSets([1, 2])
+        r1 = s.union(1, 2)
+        r2 = s.union(1, 2)
+        assert r1 == r2
+
+    def test_classes_partition_elements(self):
+        s = DisjointSets(range(6))
+        s.union(0, 1)
+        s.union(2, 3)
+        s.union(3, 4)
+        classes = sorted(tuple(sorted(c)) for c in s.classes())
+        assert classes == [(0, 1), (2, 3, 4), (5,)]
+
+    def test_representative_is_class_member(self):
+        s = DisjointSets(range(10))
+        for i in range(9):
+            s.union(i, i + 1)
+        root = s.find(0)
+        assert root in set(range(10))
+        assert all(s.find(i) == root for i in range(10))
+
+
+@st.composite
+def union_find_scripts(draw):
+    n = draw(st.integers(2, 20))
+    ops = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=40,
+    ))
+    return n, ops
+
+
+class TestAgainstNaiveOracle:
+    @given(union_find_scripts())
+    def test_same_connectivity_as_naive(self, script):
+        n, ops = script
+        fast = DisjointSets(range(n))
+        naive = NaiveDisjointSets(range(n))
+        for a, b in ops:
+            fast.union(a, b)
+            naive.union(a, b)
+        for i in range(n):
+            for j in range(n):
+                assert fast.connected(i, j) == naive.connected(i, j)
+
+    @given(union_find_scripts())
+    def test_classes_identical_to_naive(self, script):
+        n, ops = script
+        fast = DisjointSets(range(n))
+        naive = NaiveDisjointSets(range(n))
+        for a, b in ops:
+            fast.union(a, b)
+            naive.union(a, b)
+        as_sets = lambda sets: sorted(tuple(sorted(c)) for c in sets.classes())
+        assert as_sets(fast) == as_sets(naive)
+
+    @given(union_find_scripts())
+    def test_find_is_stable_and_canonical(self, script):
+        n, ops = script
+        s = DisjointSets(range(n))
+        for a, b in ops:
+            s.union(a, b)
+        for i in range(n):
+            root = s.find(i)
+            assert s.find(root) == root
+            assert s.find(i) == root  # second lookup (post-compression)

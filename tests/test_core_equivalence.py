@@ -1,0 +1,153 @@
+"""Unit and property tests for the Hopcroft–Karp equivalence checker.
+
+The three implementations (explicit Algorithm 4, shared-state variant,
+brute-force product oracle) must agree on every input; the property
+tests drive them with arbitrary cyclic FPGs.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.automata import SharedAutomata, build_nfa, nfa_to_dfa
+from repro.core.equivalence import (
+    brute_force_equivalent,
+    dfa_equivalent,
+    shared_equivalent,
+)
+from repro.core.fpg import FieldPointsToGraph
+
+from tests.strategies import field_points_to_graphs, object_pairs
+
+
+def dfa_for(fpg, obj):
+    return nfa_to_dfa(build_nfa(fpg, obj))
+
+
+def chain_fpg(*type_chains):
+    """Build disjoint chains: each argument is a tuple of types connected
+    by `f` edges; returns (fpg, [root ids])."""
+    fpg = FieldPointsToGraph()
+    roots = []
+    next_id = 1
+    for chain in type_chains:
+        ids = list(range(next_id, next_id + len(chain)))
+        next_id += len(chain)
+        for obj, type_name in zip(ids, chain):
+            fpg.add_object(obj, type_name)
+        for a, b in zip(ids, ids[1:]):
+            fpg.add_edge(a, "f", b)
+        roots.append(ids[0])
+    return fpg, roots
+
+
+class TestKnownVerdicts:
+    def test_identical_chains_equivalent(self):
+        fpg, (r1, r2) = chain_fpg(("T", "U", "V"), ("T", "U", "V"))
+        assert dfa_equivalent(dfa_for(fpg, r1), dfa_for(fpg, r2))
+
+    def test_different_depth_not_equivalent(self):
+        fpg, (r1, r2) = chain_fpg(("T", "U", "V"), ("T", "U"))
+        assert not dfa_equivalent(dfa_for(fpg, r1), dfa_for(fpg, r2))
+
+    def test_different_leaf_type_not_equivalent(self):
+        fpg, (r1, r2) = chain_fpg(("T", "U", "V"), ("T", "U", "W"))
+        assert not dfa_equivalent(dfa_for(fpg, r1), dfa_for(fpg, r2))
+
+    def test_root_type_mismatch_not_equivalent(self):
+        fpg, (r1, r2) = chain_fpg(("T",), ("U",))
+        assert not dfa_equivalent(dfa_for(fpg, r1), dfa_for(fpg, r2))
+
+    def test_cycle_vs_unrolled_cycle_equivalent(self):
+        # a 1-cycle and a 2-cycle of the same type are behaviourally equal
+        fpg = FieldPointsToGraph()
+        for obj in (1, 2, 3):
+            fpg.add_object(obj, "T")
+        fpg.add_edge(1, "f", 1)          # self loop
+        fpg.add_edge(2, "f", 3)          # 2-cycle
+        fpg.add_edge(3, "f", 2)
+        assert dfa_equivalent(dfa_for(fpg, 1), dfa_for(fpg, 2))
+        shared = SharedAutomata(fpg)
+        assert shared_equivalent(shared.dfa_root(1), shared.dfa_root(2))
+
+    def test_null_leaf_differs_from_typed_leaf(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_object(2, "T")
+        fpg.add_object(3, "X")
+        fpg.add_edge(1, "f", 3)
+        fpg.add_null_field(2, "f")
+        assert not dfa_equivalent(dfa_for(fpg, 1), dfa_for(fpg, 2))
+
+    def test_both_null_leaves_equivalent(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_object(2, "T")
+        fpg.add_null_field(1, "f")
+        fpg.add_null_field(2, "f")
+        assert dfa_equivalent(dfa_for(fpg, 1), dfa_for(fpg, 2))
+
+    def test_missing_field_differs_from_null_field(self):
+        # "no f edge at all" (error) vs "f is null" must be distinguished
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_object(2, "T")
+        fpg.add_null_field(2, "f")
+        assert not dfa_equivalent(dfa_for(fpg, 1), dfa_for(fpg, 2))
+
+    def test_same_object_equivalent_to_itself(self):
+        fpg, (r1,) = chain_fpg(("T", "U"))
+        assert dfa_equivalent(dfa_for(fpg, r1), dfa_for(fpg, r1))
+        shared = SharedAutomata(fpg)
+        assert shared_equivalent(shared.dfa_root(r1), shared.dfa_root(r1))
+
+    def test_figure2_pair_equivalent_under_all_checkers(self):
+        from tests.test_core_automata import figure2_fpg
+
+        fpg = figure2_fpg()
+        d1, d2 = dfa_for(fpg, 1), dfa_for(fpg, 2)
+        shared = SharedAutomata(fpg)
+        assert dfa_equivalent(d1, d2)
+        assert brute_force_equivalent(d1, d2)
+        assert shared_equivalent(shared.dfa_root(1), shared.dfa_root(2))
+
+
+class TestImplementationsAgree:
+    @given(field_points_to_graphs(max_objects=7))
+    @settings(max_examples=80, deadline=None)
+    def test_all_three_checkers_agree(self, fpg):
+        shared = SharedAutomata(fpg)
+        for oi, oj in object_pairs(fpg):
+            explicit_i = dfa_for(fpg, oi)
+            explicit_j = dfa_for(fpg, oj)
+            expected = brute_force_equivalent(explicit_i, explicit_j)
+            assert dfa_equivalent(explicit_i, explicit_j) == expected
+            assert shared_equivalent(
+                shared.dfa_root(oi), shared.dfa_root(oj)
+            ) == expected
+
+    @given(field_points_to_graphs(max_objects=6))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_is_symmetric(self, fpg):
+        shared = SharedAutomata(fpg)
+        for oi, oj in object_pairs(fpg):
+            assert shared_equivalent(
+                shared.dfa_root(oi), shared.dfa_root(oj)
+            ) == shared_equivalent(
+                shared.dfa_root(oj), shared.dfa_root(oi)
+            )
+
+    @given(field_points_to_graphs(max_objects=6))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_implies_equal_behavior_on_short_words(self, fpg):
+        from itertools import product
+
+        shared = SharedAutomata(fpg)
+        for oi, oj in object_pairs(fpg):
+            if not shared_equivalent(shared.dfa_root(oi), shared.dfa_root(oj)):
+                continue
+            d1, d2 = dfa_for(fpg, oi), dfa_for(fpg, oj)
+            symbols = sorted(d1.sigma | d2.sigma)
+            words = [()]
+            for length in (1, 2, 3):
+                words.extend(product(symbols, repeat=length))
+            for word in words:
+                assert d1.behavior(word) == d2.behavior(word)

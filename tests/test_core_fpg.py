@@ -1,0 +1,129 @@
+"""Unit tests for the field points-to graph."""
+
+import pytest
+
+from repro.core.fpg import NULL_OBJECT, NULL_TYPE_NAME, FieldPointsToGraph, build_fpg
+from repro.frontend import parse_program
+from repro.pta import AllocationTypeAbstraction, selector_for, solve
+
+
+def small_fpg():
+    fpg = FieldPointsToGraph()
+    fpg.add_object(1, "T")
+    fpg.add_object(2, "U")
+    fpg.add_object(3, "U")
+    fpg.add_edge(1, "f", 2)
+    fpg.add_edge(1, "f", 3)
+    fpg.add_edge(2, "g", 1)  # cycle
+    return fpg
+
+
+class TestConstruction:
+    def test_null_node_always_present(self):
+        fpg = FieldPointsToGraph()
+        assert NULL_OBJECT in fpg
+        assert fpg.type_of(NULL_OBJECT) == NULL_TYPE_NAME
+        assert len(fpg) == 0
+
+    def test_node_zero_reserved(self):
+        fpg = FieldPointsToGraph()
+        with pytest.raises(ValueError, match="reserved"):
+            fpg.add_object(0, "T")
+
+    def test_type_conflict_rejected(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        with pytest.raises(ValueError, match="already has type"):
+            fpg.add_object(1, "U")
+
+    def test_readding_same_type_is_noop(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_object(1, "T")
+        assert len(fpg) == 1
+
+    def test_edges_require_known_nodes(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        with pytest.raises(KeyError):
+            fpg.add_edge(1, "f", 9)
+        with pytest.raises(KeyError):
+            fpg.add_edge(9, "f", 1)
+
+    def test_null_field_edge(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_null_field(1, "f")
+        assert fpg.points_to(1, "f") == frozenset([NULL_OBJECT])
+
+
+class TestQueries:
+    def test_points_to_and_fields_of(self):
+        fpg = small_fpg()
+        assert fpg.points_to(1, "f") == frozenset([2, 3])
+        assert fpg.points_to(1, "missing") == frozenset()
+        assert set(fpg.fields_of(1)) == {"f"}
+
+    def test_reachability_follows_cycles(self):
+        fpg = small_fpg()
+        assert fpg.reachable_from(1) == {1, 2, 3}
+        assert fpg.reachable_from(2) == {1, 2, 3}
+        assert fpg.reachable_from(3) == {3}
+
+    def test_edge_count_and_stats(self):
+        fpg = small_fpg()
+        assert fpg.edge_count() == 3
+        stats = fpg.stats()
+        assert stats == {"objects": 3, "types": 2, "fields": 2, "edges": 3}
+
+    def test_objects_excludes_null(self):
+        fpg = small_fpg()
+        fpg.add_null_field(3, "f")
+        assert set(fpg.objects()) == {1, 2, 3}
+
+
+class TestBuildFromPreAnalysis:
+    SOURCE = """
+    class A { field f: Object; field g: Object; }
+    main {
+      a = new A();
+      v = new Object();
+      a.f = v;
+    }
+    """
+
+    def test_nodes_are_allocation_sites(self):
+        result = solve(parse_program(self.SOURCE))
+        fpg = build_fpg(result)
+        assert set(fpg.objects()) == {1, 2}
+        assert fpg.type_of(1) == "A"
+        assert fpg.type_of(2) == "Object"
+
+    def test_field_edges_from_points_to(self):
+        fpg = build_fpg(solve(parse_program(self.SOURCE)))
+        assert fpg.points_to(1, "f") == frozenset([2])
+
+    def test_unassigned_declared_field_points_to_null(self):
+        fpg = build_fpg(solve(parse_program(self.SOURCE)))
+        assert fpg.points_to(1, "g") == frozenset([NULL_OBJECT])
+
+    def test_rejects_context_sensitive_pre_analysis(self):
+        result = solve(parse_program(self.SOURCE), selector_for("2obj"))
+        with pytest.raises(ValueError, match="context-insensitive"):
+            build_fpg(result)
+
+    def test_rejects_non_alloc_site_heap(self):
+        program = parse_program(self.SOURCE)
+        result = solve(program, heap_model=AllocationTypeAbstraction(program))
+        with pytest.raises(ValueError, match="allocation-site"):
+            build_fpg(result)
+
+    def test_inherited_fields_get_null_completion(self):
+        src = """
+        class A { field f: Object; }
+        class B extends A { field g: Object; }
+        main { b = new B(); }
+        """
+        fpg = build_fpg(solve(parse_program(src)))
+        assert fpg.points_to(1, "f") == frozenset([NULL_OBJECT])
+        assert fpg.points_to(1, "g") == frozenset([NULL_OBJECT])

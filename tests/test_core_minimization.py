@@ -1,0 +1,126 @@
+"""Tests for DFA minimization and the canonical-form merging engine."""
+
+from hypothesis import given, settings
+
+from repro.core.automata import SharedAutomata
+from repro.core.equivalence import shared_equivalent
+from repro.core.fpg import FieldPointsToGraph
+from repro.core.merging import MergeOptions, merge_type_consistent_objects
+from repro.core.minimization import (
+    canonical_form,
+    merge_by_canonical_forms,
+    minimize,
+)
+
+from tests.strategies import field_points_to_graphs
+
+
+def classes_of(result):
+    return sorted(tuple(sorted(c)) for c in result.classes)
+
+
+class TestMinimize:
+    def test_chain_is_already_minimal(self):
+        fpg = FieldPointsToGraph()
+        for obj, t in [(1, "T"), (2, "U"), (3, "V")]:
+            fpg.add_object(obj, t)
+        fpg.add_edge(1, "f", 2)
+        fpg.add_edge(2, "f", 3)
+        minimal = minimize(SharedAutomata(fpg).dfa_root(1))
+        assert minimal.size() == 3
+
+    def test_equivalent_siblings_collapse(self):
+        # 1 -f-> {2,3} where 2 and 3 are behaviourally identical leaves
+        fpg = FieldPointsToGraph()
+        for obj, t in [(1, "T"), (2, "U"), (3, "U")]:
+            fpg.add_object(obj, t)
+        fpg.add_edge(1, "f", 2)
+        fpg.add_edge(1, "g", 3)
+        minimal = minimize(SharedAutomata(fpg).dfa_root(1))
+        # states: {1}, and {2}≡{3} merged -> 2 states
+        assert minimal.size() == 2
+
+    def test_unrolled_cycle_collapses(self):
+        fpg = FieldPointsToGraph()
+        for obj in (1, 2, 3):
+            fpg.add_object(obj, "T")
+        fpg.add_edge(1, "f", 2)
+        fpg.add_edge(2, "f", 3)
+        fpg.add_edge(3, "f", 1)  # 3-cycle, all T
+        minimal = minimize(SharedAutomata(fpg).dfa_root(1))
+        assert minimal.size() == 1
+
+    def test_outputs_preserved(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_object(2, "X")
+        fpg.add_edge(1, "f", 2)
+        minimal = minimize(SharedAutomata(fpg).dfa_root(1))
+        assert minimal.outputs[minimal.start] == frozenset(["T"])
+
+
+class TestCanonicalForm:
+    def test_isomorphic_automata_share_form(self):
+        fpg = FieldPointsToGraph()
+        for obj, t in [(1, "T"), (2, "U"), (5, "T"), (6, "U")]:
+            fpg.add_object(obj, t)
+        fpg.add_edge(1, "f", 2)
+        fpg.add_edge(5, "f", 6)
+        shared = SharedAutomata(fpg)
+        form1 = canonical_form(minimize(shared.dfa_root(1)))
+        form2 = canonical_form(minimize(shared.dfa_root(5)))
+        assert form1 == form2
+
+    def test_different_behaviour_different_form(self):
+        fpg = FieldPointsToGraph()
+        for obj, t in [(1, "T"), (2, "U"), (5, "T"), (6, "V")]:
+            fpg.add_object(obj, t)
+        fpg.add_edge(1, "f", 2)
+        fpg.add_edge(5, "f", 6)
+        shared = SharedAutomata(fpg)
+        assert canonical_form(minimize(shared.dfa_root(1))) != \
+            canonical_form(minimize(shared.dfa_root(5)))
+
+    @given(field_points_to_graphs(max_objects=7))
+    @settings(max_examples=60, deadline=None)
+    def test_form_equality_matches_hopcroft_karp(self, fpg):
+        """On singletype objects, canonical-form equality must coincide
+        with the pairwise Hopcroft–Karp verdict."""
+        shared = SharedAutomata(fpg)
+        objs = [o for o in sorted(fpg.objects()) if shared.singletype(o)]
+        forms = {
+            o: canonical_form(minimize(shared.dfa_root(o))) for o in objs
+        }
+        for i, oi in enumerate(objs):
+            for oj in objs[i + 1:]:
+                if fpg.type_of(oi) != fpg.type_of(oj):
+                    continue
+                pairwise = shared_equivalent(
+                    shared.dfa_root(oi), shared.dfa_root(oj)
+                )
+                assert (forms[oi] == forms[oj]) == pairwise, (oi, oj)
+
+
+class TestCanonicalMerging:
+    @given(field_points_to_graphs(max_objects=8))
+    @settings(max_examples=60, deadline=None)
+    def test_same_quotient_as_pairwise_engine(self, fpg):
+        pairwise = merge_type_consistent_objects(fpg)
+        hashed = merge_by_canonical_forms(fpg)
+        assert classes_of(pairwise) == classes_of(hashed)
+
+    def test_representative_policy_respected(self):
+        fpg = FieldPointsToGraph()
+        for obj in (1, 2, 3):
+            fpg.add_object(obj, "T")
+        result = merge_by_canonical_forms(
+            fpg, MergeOptions(representative_policy="max_site")
+        )
+        assert result.mom == {1: 3, 2: 3, 3: 3}
+
+    def test_counts_match(self, tiny_program):
+        from repro.analysis import run_pre_analysis
+
+        pre = run_pre_analysis(tiny_program)
+        hashed = merge_by_canonical_forms(pre.fpg)
+        assert hashed.object_count_after == pre.merge.object_count_after

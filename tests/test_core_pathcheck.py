@@ -1,0 +1,96 @@
+"""Unit tests for the Definition 2.1 path-enumeration oracle."""
+
+from repro.core.automata import ERROR_TYPE_NAME
+from repro.core.fpg import FieldPointsToGraph
+from repro.core.pathcheck import (
+    all_field_strings,
+    reached_types,
+    type_consistent_by_paths,
+)
+
+
+def diamond_fpg():
+    fpg = FieldPointsToGraph()
+    fpg.add_object(1, "T")
+    fpg.add_object(2, "U")
+    fpg.add_object(3, "U")
+    fpg.add_object(4, "X")
+    fpg.add_edge(1, "f", 2)
+    fpg.add_edge(1, "f", 3)
+    fpg.add_edge(2, "g", 4)
+    fpg.add_edge(3, "g", 4)
+    return fpg
+
+
+class TestReachedTypes:
+    def test_empty_string_is_own_type(self):
+        assert reached_types(diamond_fpg(), 1, ()) == frozenset(["T"])
+
+    def test_one_hop(self):
+        assert reached_types(diamond_fpg(), 1, ("f",)) == frozenset(["U"])
+
+    def test_two_hops_join(self):
+        assert reached_types(diamond_fpg(), 1, ("f", "g")) == frozenset(["X"])
+
+    def test_undefined_string_is_error(self):
+        assert reached_types(diamond_fpg(), 1, ("g",)) == frozenset(
+            [ERROR_TYPE_NAME]
+        )
+
+    def test_null_propagates(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_null_field(1, "f")
+        assert reached_types(fpg, 1, ("f",)) == frozenset(["<null>"])
+
+
+class TestAllFieldStrings:
+    def test_includes_empty_string(self):
+        strings = list(all_field_strings(diamond_fpg(), [1], 1))
+        assert () in strings
+
+    def test_bounded_by_length(self):
+        strings = list(all_field_strings(diamond_fpg(), [1], 2))
+        assert max(len(s) for s in strings) == 2
+        # fields reachable from 1 are {f, g}: 1 + 2 + 4 strings
+        assert len(strings) == 7
+
+    def test_restricted_to_reachable_fields(self):
+        fpg = diamond_fpg()
+        fpg.add_object(9, "Z")
+        fpg.add_edge(9, "zz", 9)
+        strings = set(all_field_strings(fpg, [1], 1))
+        assert ("zz",) not in strings
+
+
+class TestTypeConsistency:
+    def test_same_object_always_consistent(self):
+        assert type_consistent_by_paths(diamond_fpg(), 1, 1, 4)
+
+    def test_mixed_type_frontier_violates_condition_2(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_object(2, "T")
+        fpg.add_object(3, "X")
+        fpg.add_object(4, "Y")
+        fpg.add_edge(1, "f", 3)
+        fpg.add_edge(1, "f", 4)
+        fpg.add_edge(2, "f", 3)
+        fpg.add_edge(2, "f", 4)
+        # identical automata, but Condition 2 fails for both
+        assert not type_consistent_by_paths(fpg, 1, 2, 3)
+
+    def test_condition_1_violation(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_object(2, "T")
+        fpg.add_object(3, "X")
+        fpg.add_object(4, "Y")
+        fpg.add_edge(1, "f", 3)
+        fpg.add_edge(2, "f", 4)
+        assert not type_consistent_by_paths(fpg, 1, 2, 3)
+
+    def test_figure2_objects_consistent(self):
+        from tests.test_core_automata import figure2_fpg
+
+        assert type_consistent_by_paths(figure2_fpg(), 1, 2, 6)

@@ -1,0 +1,177 @@
+"""Exact-expectation scenario tests over the hand-written corpus.
+
+Each scenario checks the precise points-to / client behaviour of one
+realistic program shape under several configurations — the fine-grained
+counterpart of the aggregate workload tests.
+"""
+
+import pytest
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.clients import analyze_exceptions, check_casts, devirtualize
+from repro.interp import interpret
+from repro.pta import selector_for, solve
+from repro.workloads.corpus import CORPUS, corpus_names, corpus_program
+
+
+def sites(result, method, var):
+    out = set()
+    for obj in result.var_points_to_ids(method, var):
+        out |= result.object_sites(obj)
+    return out
+
+
+class TestCache:
+    def test_ci_conflates_cells(self):
+        r = solve(corpus_program("cache"))
+        assert sites(r, "<Main>.main", "g1") == {3, 4}
+
+    def test_2obj_separates_cells(self):
+        r = solve(corpus_program("cache"), selector_for("2obj"))
+        assert sites(r, "<Main>.main", "g1") == {3}
+        assert sites(r, "<Main>.main", "g2") == {4}
+
+    def test_mahjong_merges_caches_keeps_type_clients(self):
+        program = corpus_program("cache")
+        pre = run_pre_analysis(program)
+        cache_sites = [
+            s for s, stmt in program.alloc_sites().items()
+            if stmt.class_name == "Cache"
+        ]
+        assert len({pre.merge.mom[s] for s in cache_sites}) == 1
+        base = run_analysis(program, "2obj").metrics()
+        merged = run_analysis(program, "M-2obj", pre=pre).metrics()
+        assert base["call_graph_edges"] == merged["call_graph_edges"]
+
+
+class TestIterator:
+    def test_heap_context_separates_iterators(self):
+        r = solve(corpus_program("iterator"), selector_for("2obj"))
+        a = sites(r, "<Main>.main", "fromA")
+        b = sites(r, "<Main>.main", "fromB")
+        assert a.isdisjoint(b)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_ci_conflates_iterators(self):
+        r = solve(corpus_program("iterator"))
+        assert sites(r, "<Main>.main", "fromA") == \
+            sites(r, "<Main>.main", "fromB")
+
+    def test_single_iter_allocation_site(self):
+        program = corpus_program("iterator")
+        iter_sites = [
+            s for s, stmt in program.alloc_sites().items()
+            if stmt.class_name == "Iter"
+        ]
+        assert len(iter_sites) == 1  # identity comes from heap contexts
+
+
+class TestBuilderChain:
+    def test_fluent_chain_preserves_identity(self):
+        r = solve(corpus_program("builder_chain"))
+        main = "<Main>.main"
+        assert sites(r, main, "b") == sites(r, main, "step1")
+        assert sites(r, main, "step1") == sites(r, main, "step2")
+
+    def test_build_returns_first_part(self):
+        r = solve(corpus_program("builder_chain"), selector_for("2obj"))
+        made = {
+            d.class_name
+            for d in r.var_points_to("<Main>.main", "made")
+        }
+        assert made == {"Part"}
+
+
+class TestListeners:
+    def test_fire_is_poly_because_both_registered(self):
+        r = solve(corpus_program("listeners"))
+        report = devirtualize(r)
+        assert report.poly_call_site_count == 1  # l.on(e)
+
+    def test_event_flows_back_out(self):
+        r = solve(corpus_program("listeners"))
+        out = {d.class_name for d in r.var_points_to("<Main>.main", "out")}
+        assert out == {"Event"}
+
+    def test_subscriber_set(self):
+        r = solve(corpus_program("listeners"))
+        classes = {
+            d.class_name
+            for d in r.var_points_to("Bus.fire", "l")
+        }
+        assert classes == {"LogListener", "UiListener"}
+
+
+class TestRegistrySingleton:
+    def test_static_field_flow(self):
+        r = solve(corpus_program("registry_singleton"))
+        got = {d.class_name for d in r.var_points_to("<Main>.main", "got")}
+        assert got == {"Service"}
+
+    def test_serve_is_mono(self):
+        report = devirtualize(solve(corpus_program("registry_singleton")))
+        assert report.poly_call_site_count == 0
+
+
+class TestDowncastPipeline:
+    def test_ci_reports_both_casts_may_fail(self):
+        report = check_casts(solve(corpus_program("downcast_pipeline")))
+        assert report.may_fail_count == 2  # payloads conflated in pass()
+
+    def test_2cs_proves_good_cast_safe(self):
+        r = solve(corpus_program("downcast_pipeline"), selector_for("2cs"))
+        report = check_casts(r)
+        assert report.may_fail_count == 1  # only the genuinely bad one
+        # and the bad one is flagged by concrete execution too
+        trace = interpret(corpus_program("downcast_pipeline"))
+        assert len(trace.failed_casts) == 1
+
+
+class TestFailurePaths:
+    def test_exception_caught_and_returned(self):
+        r = solve(corpus_program("failure_paths"))
+        outcome = {
+            d.class_name
+            for d in r.var_points_to("<Main>.main", "outcome")
+        }
+        assert outcome == {"NetError"}
+
+    def test_escape_report(self):
+        report = analyze_exceptions(solve(corpus_program("failure_paths")))
+        assert report.escaping_classes == frozenset({"NetError"})
+
+
+class TestCorpusWide:
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_every_entry_parses_and_solves(self, name):
+        program = corpus_program(name)
+        result = solve(program)
+        assert result.reachable_methods()
+
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_execution_is_over_approximated(self, name):
+        program = corpus_program(name)
+        trace = interpret(program)
+        result = solve(program)
+        assert trace.call_edges <= result.call_graph_edges()
+        for (method, var), concrete_sites in trace.var_bindings.items():
+            assert concrete_sites <= sites(result, method, var)
+
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_mahjong_preserves_type_clients(self, name):
+        program = corpus_program(name)
+        pre = run_pre_analysis(program)
+        base = run_analysis(program, "2obj").metrics()
+        merged = run_analysis(program, "M-2obj", pre=pre).metrics()
+        for metric in ("call_graph_edges", "poly_call_sites",
+                       "may_fail_casts", "escaping_exceptions"):
+            assert base[metric] == merged[metric], (name, metric)
+
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_roundtrips_through_printer(self, name):
+        from repro.frontend import parse_program
+        from repro.ir.printer import print_program
+
+        program = corpus_program(name)
+        reparsed = parse_program(print_program(program))
+        assert reparsed.stats() == program.stats()

@@ -1,0 +1,59 @@
+"""Tests for site-level precision diffing."""
+
+import pytest
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.diffing import diff_results
+from repro.frontend import parse_program
+from repro.pta import solve
+from repro.workloads import TINY, generate
+
+
+def figure1_results(figure1_program):
+    base = run_analysis(figure1_program, "ci").result
+    alloc_type = run_analysis(figure1_program, "T-ci").result
+    return base, alloc_type
+
+
+class TestDiff:
+    def test_equal_results_report_equality(self, figure1_program):
+        a = run_analysis(figure1_program, "ci").result
+        b = run_analysis(figure1_program, "ci").result
+        diff = diff_results(a, b)
+        assert diff.is_precision_equal
+        assert "matches" in diff.summary()
+
+    def test_alloc_type_losses_are_localized(self, figure1_program):
+        base, alloc_type = figure1_results(figure1_program)
+        diff = diff_results(base, alloc_type)
+        assert not diff.is_precision_equal
+        # the one virtual site (a.foo(), call site 1) gains B.foo
+        assert set(diff.extra_call_targets) == {1}
+        assert "B.foo" in diff.extra_call_targets[1]
+        # the one cast becomes may-fail, the one mono site becomes poly
+        assert diff.newly_failing_casts == frozenset([1])
+        assert diff.newly_poly_sites == frozenset([1])
+        assert "became may-fail" in diff.summary()
+
+    def test_metric_deltas(self, figure1_program):
+        base, alloc_type = figure1_results(figure1_program)
+        diff = diff_results(base, alloc_type)
+        assert diff.metric_deltas["may_fail_casts"] == (0, 1)
+        base_edges, other_edges = diff.metric_deltas["call_graph_edges"]
+        assert other_edges > base_edges
+
+    def test_mahjong_diff_is_empty_on_workload(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        base = run_analysis(tiny_program, "2obj").result
+        merged = run_analysis(tiny_program, "M-2obj", pre=pre).result
+        diff = diff_results(base, merged)
+        assert diff.is_precision_equal
+        # ... while the heap itself did shrink
+        base_objs, merged_objs = diff.metric_deltas["abstract_objects"]
+        assert merged_objs < base_objs
+
+    def test_different_programs_rejected(self, figure1_program, tiny_program):
+        a = solve(figure1_program)
+        b = solve(tiny_program)
+        with pytest.raises(ValueError, match="same program"):
+            diff_results(a, b)

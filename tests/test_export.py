@@ -1,0 +1,103 @@
+"""Tests for the JSON export module."""
+
+import io
+import json
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.bench.fig8 import run_fig8
+from repro.bench.fig9 import run_fig9
+from repro.bench.table2 import run_table2
+from repro.export import (
+    analysis_run_to_dict,
+    dump_json,
+    fig8_to_dict,
+    fig9_to_dict,
+    merge_result_to_dict,
+    pre_analysis_to_dict,
+    table2_to_dict,
+)
+
+
+def roundtrip(payload):
+    return json.loads(json.dumps(payload))
+
+
+class TestMergeExport:
+    def test_schema_and_roundtrip(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        payload = merge_result_to_dict(pre.merge)
+        assert roundtrip(payload) == payload
+        for key in ("objects_before", "objects_after", "reduction",
+                    "mom", "class_size_histogram", "equivalence_tests"):
+            assert key in payload
+        assert payload["objects_before"] >= payload["objects_after"]
+        # mom values are representatives present in the map domain
+        sites = set(payload["mom"])
+        assert all(str(rep) in sites for rep in payload["mom"].values())
+
+
+class TestPreAnalysisExport:
+    def test_contains_phase_timings_and_fpg(self, tiny_program):
+        payload = pre_analysis_to_dict(run_pre_analysis(tiny_program))
+        assert roundtrip(payload) == payload
+        assert set(payload) == {"ci_seconds", "fpg_seconds",
+                                "mahjong_seconds", "fpg", "merge"}
+        assert payload["fpg"]["objects"] > 0
+
+
+class TestRunExport:
+    def test_successful_run(self, tiny_program):
+        payload = analysis_run_to_dict(run_analysis(tiny_program, "M-2obj"))
+        assert roundtrip(payload) == payload
+        assert payload["succeeded"] is True
+        assert payload["heap"] == "mahjong"
+        assert payload["sensitivity"] == "2obj"
+        assert "call_graph_edges" in payload
+
+    def test_timed_out_run(self, tiny_program):
+        payload = analysis_run_to_dict(
+            run_analysis(tiny_program, "2obj", timeout_seconds=0.0)
+        )
+        assert payload["succeeded"] is False
+        assert payload["timed_out"] is True
+
+
+class TestHarnessExports:
+    def test_table2(self):
+        result = run_table2(profiles=["luindex"], baselines=["2obj"],
+                            budget=60, scale=0.2)
+        payload = table2_to_dict(result)
+        assert roundtrip(payload) == payload
+        assert payload["speedups"]["luindex"]["2obj"] is not None
+        assert "2obj" in payload["cells"]["luindex"]
+
+    def test_fig8_and_fig9(self):
+        payload8 = fig8_to_dict(run_fig8(["luindex"], scale=0.2))
+        assert roundtrip(payload8) == payload8
+        assert 0 < payload8["average_reduction"] < 1
+        payload9 = fig9_to_dict(run_fig9("luindex", scale=0.2))
+        assert roundtrip(payload9) == payload9
+        assert payload9["points"]
+
+
+class TestDumpJson:
+    def test_to_path(self, tmp_path, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        target = tmp_path / "merge.json"
+        dump_json(merge_result_to_dict(pre.merge), str(target))
+        loaded = json.loads(target.read_text())
+        assert loaded["objects_before"] == pre.merge.object_count_before
+        assert target.read_text().endswith("\n")
+
+    def test_to_handle(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        buffer = io.StringIO()
+        dump_json(merge_result_to_dict(pre.merge), buffer)
+        assert json.loads(buffer.getvalue())
+
+    def test_stable_output(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        a, b = io.StringIO(), io.StringIO()
+        dump_json(merge_result_to_dict(pre.merge), a)
+        dump_json(merge_result_to_dict(pre.merge), b)
+        assert a.getvalue() == b.getvalue()

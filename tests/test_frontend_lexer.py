@@ -1,0 +1,82 @@
+"""Unit tests for the mini-Java lexer."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_empty_input_yields_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == TokenKind.EOF
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("class foo new")[:3] == [
+        TokenKind.CLASS, TokenKind.IDENT, TokenKind.NEW
+    ]
+    # keywords are not matched as prefixes
+    assert kinds("classy newish")[:2] == [TokenKind.IDENT, TokenKind.IDENT]
+
+
+def test_punctuation():
+    assert kinds("{ } ( ) ; , . =")[:-1] == [
+        TokenKind.LBRACE, TokenKind.RBRACE, TokenKind.LPAREN,
+        TokenKind.RPAREN, TokenKind.SEMI, TokenKind.COMMA,
+        TokenKind.DOT, TokenKind.ASSIGN,
+    ]
+
+
+def test_colon_vs_double_colon():
+    assert kinds(": ::")[:-1] == [TokenKind.COLON, TokenKind.DOUBLE_COLON]
+    assert kinds("A::f")[:-1] == [
+        TokenKind.IDENT, TokenKind.DOUBLE_COLON, TokenKind.IDENT
+    ]
+
+
+def test_angle_bracket_identifiers_roundtrip():
+    assert texts("<Main> Obj[]") == ["<Main>", "Obj[]"]
+
+
+def test_line_comment_skipped():
+    assert texts("a // the rest is ignored\nb") == ["a", "b"]
+
+
+def test_block_comment_skipped_including_newlines():
+    assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexError) as excinfo:
+        tokenize("a\n  %")
+    assert excinfo.value.position.line == 2
+    assert excinfo.value.position.column == 3
+
+
+def test_positions_track_lines_and_columns():
+    tokens = tokenize("ab\n  cd")
+    assert (tokens[0].position.line, tokens[0].position.column) == (1, 1)
+    assert (tokens[1].position.line, tokens[1].position.column) == (2, 3)
+
+
+def test_all_statement_punctuation_in_context():
+    tokens = tokenize("x = y.f(a, b);")
+    assert [t.kind for t in tokens[:-1]] == [
+        TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.IDENT, TokenKind.DOT,
+        TokenKind.IDENT, TokenKind.LPAREN, TokenKind.IDENT, TokenKind.COMMA,
+        TokenKind.IDENT, TokenKind.RPAREN, TokenKind.SEMI,
+    ]

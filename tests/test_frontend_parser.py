@@ -1,0 +1,164 @@
+"""Unit tests for the parser and AST→IR lowering."""
+
+import pytest
+
+from repro.frontend import ParseError, parse_ast, parse_program
+from repro.frontend.ast import (
+    AstCast,
+    AstCopy,
+    AstInvoke,
+    AstLoad,
+    AstNew,
+    AstNull,
+    AstReturn,
+    AstStaticInvoke,
+    AstStaticLoad,
+    AstStaticStore,
+    AstStore,
+)
+from repro.ir.statements import Invoke, StaticInvoke
+
+
+def parse_main_statements(body):
+    ast = parse_ast(f"main {{ {body} }}")
+    return list(ast.main_statements)
+
+
+class TestStatementParsing:
+    def test_new(self):
+        (stmt,) = parse_main_statements("x = new A();")
+        assert isinstance(stmt, AstNew)
+        assert (stmt.target, stmt.class_name) == ("x", "A")
+
+    def test_null(self):
+        (stmt,) = parse_main_statements("x = null;")
+        assert isinstance(stmt, AstNull)
+
+    def test_copy(self):
+        (stmt,) = parse_main_statements("x = y;")
+        assert isinstance(stmt, AstCopy)
+        assert (stmt.target, stmt.source) == ("x", "y")
+
+    def test_load(self):
+        (stmt,) = parse_main_statements("x = y.f;")
+        assert isinstance(stmt, AstLoad)
+        assert (stmt.target, stmt.base, stmt.field_name) == ("x", "y", "f")
+
+    def test_store(self):
+        (stmt,) = parse_main_statements("x.f = y;")
+        assert isinstance(stmt, AstStore)
+        assert (stmt.base, stmt.field_name, stmt.source) == ("x", "f", "y")
+
+    def test_static_load_and_store(self):
+        load, store = parse_main_statements("x = A::sf; A::sf = x;")
+        assert isinstance(load, AstStaticLoad)
+        assert isinstance(store, AstStaticStore)
+
+    def test_invoke_with_target_and_args(self):
+        (stmt,) = parse_main_statements("x = y.m(a, b);")
+        assert isinstance(stmt, AstInvoke)
+        assert stmt.args == ("a", "b")
+        assert stmt.target == "x"
+
+    def test_invoke_without_target(self):
+        (stmt,) = parse_main_statements("y.m();")
+        assert isinstance(stmt, AstInvoke)
+        assert stmt.target is None
+
+    def test_static_invoke_both_forms(self):
+        with_target, without = parse_main_statements("x = A::m(a); A::m();")
+        assert isinstance(with_target, AstStaticInvoke)
+        assert with_target.target == "x"
+        assert isinstance(without, AstStaticInvoke)
+        assert without.target is None
+
+    def test_cast(self):
+        (stmt,) = parse_main_statements("x = (T) y;")
+        assert isinstance(stmt, AstCast)
+        assert (stmt.target, stmt.class_name, stmt.source) == ("x", "T", "y")
+
+    def test_return_only_in_methods(self):
+        ast = parse_ast("class A { method m() { return this; } } main { }")
+        stmt = ast.classes[0].methods[0].statements[0]
+        assert isinstance(stmt, AstReturn)
+
+
+class TestClassParsing:
+    def test_extends_clause(self):
+        ast = parse_ast("class A { } class B extends A { } main { }")
+        assert ast.classes[1].superclass == "A"
+        assert ast.classes[0].superclass is None
+
+    def test_static_members(self):
+        ast = parse_ast(
+            "class A { static field s: A; static method m() { } } main { }"
+        )
+        assert ast.classes[0].fields[0].is_static
+        assert ast.classes[0].methods[0].is_static
+
+    def test_method_params(self):
+        ast = parse_ast("class A { method m(a, b, c) { } } main { }")
+        assert ast.classes[0].methods[0].params == ("a", "b", "c")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source, fragment", [
+        ("main { x = ; }", "right-hand side"),
+        ("main { x }", "expected"),
+        ("class { } main { }", "class name"),
+        ("main { } main { }", "duplicate main"),
+        ("class A { }", "no main"),
+        ("class A { junk } main { }", "'field' or 'method'"),
+        ("stray main { }", "expected 'class' or 'main'"),
+    ])
+    def test_syntax_errors(self, source, fragment):
+        with pytest.raises(ParseError, match=fragment):
+            parse_ast(source)
+
+    def test_error_positions_are_exact(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_ast("main {\n  x = ;\n}")
+        assert excinfo.value.position.line == 2
+
+
+class TestLowering:
+    def test_subclass_declared_before_superclass(self):
+        program = parse_program(
+            "class B extends A { } class A { } main { x = new B(); }"
+        )
+        assert program.hierarchy.is_subtype(
+            program.hierarchy.get("B"), program.hierarchy.get("A")
+        )
+
+    def test_inheritance_cycle_rejected(self):
+        with pytest.raises(ParseError, match="cycle"):
+            parse_program(
+                "class A extends B { } class B extends A { } main { }"
+            )
+
+    def test_unknown_superclass_rejected(self):
+        with pytest.raises(ParseError, match="unknown superclass"):
+            parse_program("class A extends Ghost { } main { }")
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ParseError, match="duplicate class"):
+            parse_program("class A { } class A { } main { }")
+
+    def test_site_ids_assigned_in_order(self):
+        program = parse_program(
+            "main { x = new Object(); y = new Object(); }"
+        )
+        sites = sorted(program.alloc_sites())
+        assert sites == [1, 2]
+
+    def test_call_sites_assigned(self, figure1_program):
+        assert len(figure1_program._call_sites) == 1
+
+    def test_lowered_invoke_kinds(self):
+        program = parse_program(
+            "class A { method m() { return this; }"
+            " static method s() { x = new A(); return x; } }"
+            "main { a = A::s(); a.m(); }"
+        )
+        kinds = [type(s) for s in program.entry.statements]
+        assert kinds == [StaticInvoke, Invoke]

@@ -1,0 +1,85 @@
+"""Unit tests for the heap modeler and equivalence-class reports."""
+
+from repro.core.fpg import FieldPointsToGraph
+from repro.core.heap_modeler import build_heap_abstraction, describe_classes
+from repro.core.merging import merge_type_consistent_objects
+from repro.pta.heapmodel import MahjongAbstraction
+
+
+def report_fpg():
+    fpg = FieldPointsToGraph()
+    # three builders all storing chars, one bare node, two boxes per type
+    for obj in (1, 2, 3):
+        fpg.add_object(obj, "SB")
+    fpg.add_object(4, "Chars")
+    for obj in (1, 2, 3):
+        fpg.add_edge(obj, "value", 4)
+    fpg.add_object(5, "SB")
+    fpg.add_null_field(5, "value")
+    fpg.add_object(6, "Box")
+    fpg.add_object(7, "Box")
+    fpg.add_object(8, "X")
+    fpg.add_object(9, "Y")
+    fpg.add_edge(6, "elem", 8)
+    fpg.add_edge(7, "elem", 9)
+    return fpg
+
+
+def test_build_heap_abstraction_wraps_mom():
+    fpg = report_fpg()
+    merge = merge_type_consistent_objects(fpg)
+    abstraction = build_heap_abstraction(merge)
+    assert isinstance(abstraction, MahjongAbstraction)
+    assert abstraction.representative(2) == abstraction.representative(1)
+    assert abstraction.representative(5) == 5
+
+
+def test_reports_ranked_by_size():
+    fpg = report_fpg()
+    merge = merge_type_consistent_objects(fpg)
+    reports = describe_classes(fpg, merge)
+    sizes = [r.size for r in reports]
+    assert sizes == sorted(sizes, reverse=True)
+    assert reports[0].type_name == "SB"
+    assert reports[0].size == 3
+    assert reports[0].remark == "Chars"
+
+
+def test_null_field_class_reported():
+    fpg = report_fpg()
+    merge = merge_type_consistent_objects(fpg)
+    reports = describe_classes(fpg, merge)
+    null_rows = [r for r in reports if r.remark == "null fields"]
+    assert len(null_rows) == 1
+    assert null_rows[0].sites == (5,)
+    assert null_rows[0].total_objects_of_type == 4  # all SBs
+
+
+def test_same_type_split_by_content():
+    fpg = report_fpg()
+    merge = merge_type_consistent_objects(fpg)
+    reports = describe_classes(fpg, merge)
+    box_rows = [r for r in reports if r.type_name == "Box"]
+    assert len(box_rows) == 2
+    assert {r.remark for r in box_rows} == {"X", "Y"}
+
+
+def test_limit_truncates():
+    fpg = report_fpg()
+    merge = merge_type_consistent_objects(fpg)
+    assert len(describe_classes(fpg, merge, limit=2)) == 2
+
+
+def test_no_fields_remark():
+    fpg = FieldPointsToGraph()
+    fpg.add_object(1, "Plain")
+    merge = merge_type_consistent_objects(fpg)
+    (report,) = describe_classes(fpg, merge)
+    assert report.remark == "no fields"
+
+
+def test_report_str_renders():
+    fpg = report_fpg()
+    merge = merge_type_consistent_objects(fpg)
+    text = str(describe_classes(fpg, merge)[0])
+    assert "SB" in text and "size=3" in text

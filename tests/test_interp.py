@@ -1,0 +1,148 @@
+"""Unit tests for the concrete reference interpreter."""
+
+from repro.frontend import parse_program
+from repro.interp import interpret
+
+
+def trace_of(source, **kwargs):
+    return interpret(parse_program(source), **kwargs)
+
+
+class TestBasics:
+    def test_allocation_and_copy(self):
+        trace = trace_of("main { a = new Object(); b = a; }")
+        assert trace.var_bindings[("<Main>.main", "a")] == {1}
+        assert trace.var_bindings[("<Main>.main", "b")] == {1}
+
+    def test_field_store_load(self):
+        src = """
+        class A { field f: Object; }
+        main { a = new A(); v = new Object(); a.f = v; w = a.f; }
+        """
+        trace = trace_of(src)
+        assert trace.heap_stores == {(1, "f", 2)}
+        assert trace.var_bindings[("<Main>.main", "w")] == {2}
+
+    def test_flow_sensitive_load_before_store_sees_nothing(self):
+        src = """
+        class A { field f: Object; }
+        main { a = new A(); w = a.f; v = new Object(); a.f = v; }
+        """
+        trace = trace_of(src)
+        assert ("<Main>.main", "w") not in trace.var_bindings
+
+    def test_per_object_fields(self):
+        src = """
+        class A { field f: Object; }
+        main {
+          a = new A(); b = new A();
+          v = new Object(); a.f = v;
+          w = b.f;
+        }
+        """
+        trace = trace_of(src)
+        assert ("<Main>.main", "w") not in trace.var_bindings
+
+    def test_static_fields(self):
+        src = """
+        class A { static field sf: Object; }
+        main { v = new Object(); A::sf = v; w = A::sf; }
+        """
+        trace = trace_of(src)
+        assert trace.var_bindings[("<Main>.main", "w")] == {1}
+
+    def test_null_assignment_unbinds(self):
+        src = """
+        class A { field f: Object; }
+        main { a = new A(); a = null; a.f = a; }
+        """
+        trace = trace_of(src)
+        assert trace.heap_stores == set()
+
+
+class TestCallsAndDispatch:
+    def test_virtual_dispatch_concrete(self):
+        src = """
+        class A { method who() { return this; } }
+        class B extends A { method who() { return this; } }
+        main { x = new B(); r = x.who(); }
+        """
+        trace = trace_of(src)
+        assert trace.call_edges == {(1, "B.who")}
+        assert trace.var_bindings[("<Main>.main", "r")] == {1}
+
+    def test_return_value_and_args(self):
+        src = """
+        class U { static method id(x) { return x; } }
+        main { v = new Object(); r = U::id(v); }
+        """
+        trace = trace_of(src)
+        assert trace.call_edges == {(1, "U.id")}
+        assert trace.var_bindings[("U.id", "x")] == {1}
+        assert trace.var_bindings[("<Main>.main", "r")] == {1}
+
+    def test_recursion_bounded(self):
+        src = """
+        class A { method loop() { r = this.loop(); return r; } }
+        main { a = new A(); a.loop(); }
+        """
+        trace = trace_of(src, max_depth=10)
+        assert trace.truncated
+        assert (2, "A.loop") in trace.call_edges
+
+    def test_call_on_null_skipped(self):
+        src = """
+        class A { method m() { return this; } }
+        main { a = null; a.m(); }
+        """
+        trace = trace_of(src)
+        assert trace.call_edges == set()
+
+
+class TestCastsAndExceptions:
+    def test_successful_cast_binds(self):
+        src = """
+        class A { }
+        class B extends A { }
+        main { b = new B(); x = (A) b; }
+        """
+        trace = trace_of(src)
+        assert trace.failed_casts == set()
+        assert trace.var_bindings[("<Main>.main", "x")] == {1}
+
+    def test_failed_cast_recorded(self):
+        src = """
+        class A { }
+        class B extends A { }
+        main { a = new A(); x = (B) a; }
+        """
+        trace = trace_of(src)
+        assert trace.failed_casts == {1}
+        assert ("<Main>.main", "x") not in trace.var_bindings
+
+    def test_throw_and_propagation(self):
+        src = """
+        class Err { }
+        class W { method boom() { e = new Err(); throw e; return this; } }
+        main { w = new W(); w.boom(); }
+        """
+        trace = trace_of(src)
+        # `new Err()` inside W.boom is lowered first, so it is site 1
+        assert trace.exceptions["W.boom"] == {1}
+        assert trace.exceptions["<Main>.main"] == {1}
+
+    def test_catch_binds_matching(self):
+        src = """
+        class Err { }
+        class Other { }
+        class W { method boom() { e = new Err(); throw e; return this; } }
+        main {
+          w = new W();
+          w.boom();
+          caught = catch (Err);
+          missed = catch (Other);
+        }
+        """
+        trace = trace_of(src)
+        assert trace.var_bindings[("<Main>.main", "caught")] == {1}
+        assert ("<Main>.main", "missed") not in trace.var_bindings

@@ -1,0 +1,119 @@
+"""Tests for introspective (selective) context sensitivity."""
+
+from repro.analysis import (
+    refinement_set,
+    run_analysis,
+    run_introspective,
+    run_pre_analysis,
+)
+from repro.frontend import parse_program
+from repro.pta.context import (
+    EMPTY_CONTEXT,
+    IntrospectiveSensitive,
+    ObjectSensitive,
+    ReceiverInfo,
+    TypeSensitive,
+    wants_type_elements,
+)
+
+HOT_COLD = """
+class Cold {
+  method work(x) { return x; }
+}
+class Hot {
+  method work(x) { return x; }
+}
+main {
+  cold = new Cold();
+  v0 = new Object();
+  r0 = cold.work(v0);
+  h1 = new Hot(); h2 = new Hot(); h3 = new Hot();
+  v1 = new Object();
+  a = h1.work(v1);
+  b = h2.work(v1);
+  c = h3.work(v1);
+}
+"""
+
+
+class TestSelector:
+    def recv(self, element):
+        return ReceiverInfo(0, (), element)
+
+    def test_unrefined_callee_goes_context_insensitive(self):
+        selector = IntrospectiveSensitive(
+            ObjectSensitive(2), lambda q: q == "A.cheap"
+        )
+        refined_ctx = selector.select_virtual((), 1, self.recv(5), "A.cheap")
+        hot_ctx = selector.select_virtual((), 1, self.recv(5), "A.hot")
+        assert refined_ctx == (5,)
+        assert hot_ctx == EMPTY_CONTEXT
+
+    def test_unknown_callee_defaults_to_refined(self):
+        selector = IntrospectiveSensitive(ObjectSensitive(2), lambda q: False)
+        assert selector.select_virtual((), 1, self.recv(5), None) == (5,)
+
+    def test_static_selection_also_gated(self):
+        selector = IntrospectiveSensitive(
+            ObjectSensitive(2), lambda q: False
+        )
+        assert selector.select_static((9,), 1, "A.hot") == EMPTY_CONTEXT
+
+    def test_name_and_type_element_passthrough(self):
+        selector = IntrospectiveSensitive(TypeSensitive(2), lambda q: True)
+        assert selector.name == "introspective-2type"
+        assert wants_type_elements(selector)
+        assert not wants_type_elements(
+            IntrospectiveSensitive(ObjectSensitive(2), lambda q: True)
+        )
+
+
+class TestRefinementSet:
+    def test_threshold_splits_hot_and_cold(self):
+        program = parse_program(HOT_COLD)
+        pre = run_pre_analysis(program)
+        refined = refinement_set(pre, program, threshold=2)
+        assert "Cold.work" in refined       # one receiver object
+        assert "Hot.work" not in refined    # three receiver objects
+        assert "<Main>.main" in refined     # static methods always refined
+
+    def test_large_threshold_refines_everything(self):
+        program = parse_program(HOT_COLD)
+        pre = run_pre_analysis(program)
+        refined = refinement_set(pre, program, threshold=100)
+        assert "Hot.work" in refined
+
+
+class TestEndToEnd:
+    def test_precision_between_ci_and_full(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        ci = run_analysis(tiny_program, "ci").result.call_graph_edges()
+        full = run_analysis(tiny_program, "2obj").result.call_graph_edges()
+        intro = run_introspective(
+            tiny_program, "2obj", threshold=2, pre=pre
+        ).result.call_graph_edges()
+        assert full <= intro <= ci
+
+    def test_introspective_matches_full_when_all_refined(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        full = run_analysis(tiny_program, "2obj").metrics()
+        intro = run_introspective(
+            tiny_program, "2obj", threshold=10 ** 6, pre=pre
+        ).metrics()
+        for metric in ("call_graph_edges", "poly_call_sites",
+                       "may_fail_casts"):
+            assert full[metric] == intro[metric]
+
+    def test_introspective_cuts_contexts_on_hot_methods(self):
+        program = parse_program(HOT_COLD)
+        pre = run_pre_analysis(program)
+        full = run_analysis(program, "2obj").result
+        intro = run_introspective(program, "2obj", threshold=2,
+                                  pre=pre).result
+        assert len(intro.contexts_of_method("Hot.work")) == 1
+        assert len(full.contexts_of_method("Hot.work")) == 3
+
+    def test_run_is_labeled(self, tiny_program):
+        run = run_introspective(tiny_program, "2obj", threshold=4)
+        assert run.config.name == "I-2obj"
+        assert run.metrics()["analysis"] == "I-2obj"

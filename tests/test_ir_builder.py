@@ -1,0 +1,146 @@
+"""Unit tests for the ProgramBuilder / MethodBuilder API."""
+
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.ir.statements import (
+    AssignNull,
+    Cast,
+    Copy,
+    Invoke,
+    Load,
+    New,
+    Return,
+    StaticInvoke,
+    StaticLoad,
+    StaticStore,
+    Store,
+)
+
+
+def test_fresh_vars_are_method_local_and_distinct():
+    b = ProgramBuilder()
+    b.add_class("A")
+    with b.main() as m:
+        names = {m.fresh_var() for _ in range(10)}
+    assert len(names) == 10
+
+
+def test_site_ids_globally_unique_across_methods():
+    b = ProgramBuilder()
+    b.add_class("A")
+    with b.method("A", "m1") as m:
+        m.new("A")
+        m.ret("this")
+    with b.method("A", "m2") as m:
+        m.new("A")
+        m.ret("this")
+    with b.main() as m:
+        m.new("A")
+    p = b.build()
+    assert len(p.alloc_sites()) == 3
+
+
+def test_every_emitter_produces_expected_statement():
+    b = ProgramBuilder()
+    b.add_class("A")
+    b.add_field("A", "f", "A")
+    b.add_field("A", "sf", "A", is_static=True)
+    with b.method("A", "callee", params=("p",)) as m:
+        m.ret("p")
+    with b.method("A", "sm", static=True) as m:
+        r = m.new("A")
+        m.ret(r)
+    with b.main() as m:
+        a = m.new("A", target="a")
+        m.copy("b", a)
+        m.load("b", "f", target="c")
+        m.store("a", "f", "c")
+        m.static_load("A", "sf", target="d")
+        m.static_store("A", "sf", "d")
+        m.invoke("a", "callee", "b", target="e")
+        m.static_invoke("A", "sm", target="g")
+        m.cast("A", "e", target="h")
+        m.assign_null("i")
+    p = b.build()
+    kinds = [type(s) for s in p.entry.statements]
+    assert kinds == [New, Copy, Load, Store, StaticLoad, StaticStore,
+                     Invoke, StaticInvoke, Cast, AssignNull]
+
+
+def test_invoke_without_target_returns_none():
+    b = ProgramBuilder()
+    b.add_class("A")
+    with b.method("A", "foo") as m:
+        m.ret("this")
+    with b.main() as m:
+        a = m.new("A")
+        assert m.invoke(a, "foo") is None
+
+
+def test_cast_site_and_invoke_site_return_ids():
+    b = ProgramBuilder()
+    b.add_class("A")
+    with b.method("A", "foo") as m:
+        m.ret("this")
+    with b.main() as m:
+        a = m.new("A")
+        cs = m.invoke_site(a, "foo")
+        xs = m.cast_site("A", a, "c")
+        assert isinstance(cs, int) and isinstance(xs, int)
+
+
+def test_method_on_undeclared_class_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError, match="not declared"):
+        b.method("Ghost", "m")
+
+
+def test_missing_main_rejected():
+    b = ProgramBuilder()
+    b.add_class("A")
+    with pytest.raises(ValueError, match="no main"):
+        b.build()
+
+
+def test_duplicate_main_rejected():
+    b = ProgramBuilder()
+    b.add_class("A")
+    with b.main() as m:
+        m.new("A")
+    with pytest.raises(ValueError, match="already defined"):
+        with b.main() as m:
+            m.new("A")
+
+
+def test_build_twice_rejected():
+    b = ProgramBuilder()
+    b.add_class("A")
+    with b.main() as m:
+        m.new("A")
+    b.build()
+    with pytest.raises(RuntimeError):
+        b.build()
+
+
+def test_array_class_has_elem_field():
+    b = ProgramBuilder()
+    b.add_array_class("IntArray")
+    with b.main() as m:
+        m.new("IntArray")
+    p = b.build()
+    assert "elem" in p.fields_of_class("IntArray")
+
+
+def test_failed_method_body_is_not_registered():
+    b = ProgramBuilder()
+    b.add_class("A")
+    with pytest.raises(RuntimeError):
+        with b.method("A", "broken") as m:
+            m.new("A")
+            raise RuntimeError("author error")
+    # the class has no method `broken`
+    with b.main() as m:
+        m.new("A")
+    p = b.build()
+    assert "broken" not in p.get_class("A").methods

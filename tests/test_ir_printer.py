@@ -1,0 +1,65 @@
+"""Round-trip tests: parse(print(program)) preserves structure."""
+
+from repro.frontend import parse_program
+from repro.ir.printer import print_method, print_program
+from repro.workloads import TINY, generate, profile_spec
+
+
+def normalize(program):
+    """A structural fingerprint that is stable across site renumbering."""
+    classes = {}
+    for decl in program.classes.values():
+        classes[decl.name] = (
+            decl.type.superclass_name,
+            tuple(sorted((f.name, f.declared_type, f.is_static)
+                         for f in decl.fields.values())),
+            tuple(sorted(
+                (m.name, m.params, m.is_static,
+                 tuple(type(s).__name__ for s in m.statements))
+                for m in decl.methods.values()
+            )),
+        )
+    entry = tuple(type(s).__name__ for s in program.entry.statements)
+    return classes, entry
+
+
+def test_roundtrip_figure1(figure1_program):
+    text = print_program(figure1_program)
+    reparsed = parse_program(text)
+    assert normalize(reparsed) == normalize(figure1_program)
+
+
+def test_roundtrip_tiny_workload(tiny_program):
+    text = print_program(tiny_program)
+    reparsed = parse_program(text)
+    assert normalize(reparsed) == normalize(tiny_program)
+    assert reparsed.stats() == tiny_program.stats()
+
+
+def test_roundtrip_bigger_workload():
+    program = generate(profile_spec("tiny", scale=2.0))
+    reparsed = parse_program(print_program(program))
+    assert normalize(reparsed) == normalize(program)
+
+
+def test_print_method_renders_header_and_body(figure1_program):
+    method = figure1_program.get_class("A").methods["foo"]
+    text = print_method(method)
+    assert text.startswith("    method foo()")
+    assert "return this;" in text
+
+
+def test_static_members_printed_with_keyword():
+    source = """
+    class A {
+      static field sf: A;
+      static method sm() { return this; }
+    }
+    main { x = A::sm(); A::sf = x; y = A::sf; }
+    """
+    program = parse_program(source, validate=False)
+    text = print_program(program)
+    assert "static field sf: A;" in text
+    assert "static method sm()" in text
+    assert "A::sf = x;" in text
+    assert "y = A::sf;" in text

@@ -1,0 +1,113 @@
+"""Unit tests for the type hierarchy."""
+
+import pytest
+
+from repro.ir.types import (
+    ERROR_TYPE,
+    NULL_TYPE,
+    OBJECT_CLASS_NAME,
+    ClassType,
+    TypeHierarchy,
+)
+
+
+@pytest.fixture
+def hierarchy():
+    h = TypeHierarchy()
+    h.add_class("A")
+    h.add_class("B", "A")
+    h.add_class("C", "A")
+    h.add_class("D", "B")
+    h.add_class("E")
+    return h
+
+
+class TestClassType:
+    def test_equality_is_by_name(self):
+        assert ClassType("A", None) == ClassType("A", "Whatever")
+        assert ClassType("A", None) != ClassType("B", None)
+
+    def test_hashable(self):
+        assert len({ClassType("A", None), ClassType("A", "X")}) == 1
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ClassType("", None)
+
+    def test_str(self):
+        assert str(ClassType("Foo", None)) == "Foo"
+
+
+class TestHierarchyConstruction:
+    def test_object_is_implicit_root(self):
+        h = TypeHierarchy()
+        assert OBJECT_CLASS_NAME in h
+        assert len(h) == 1
+
+    def test_default_superclass_is_object(self, hierarchy):
+        assert hierarchy.get("A").superclass_name == OBJECT_CLASS_NAME
+
+    def test_readding_same_class_is_noop(self, hierarchy):
+        before = len(hierarchy)
+        hierarchy.add_class("B", "A")
+        assert len(hierarchy) == before
+
+    def test_conflicting_redeclaration_rejected(self, hierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.add_class("B", "C")
+
+    def test_unknown_superclass_rejected(self):
+        h = TypeHierarchy()
+        with pytest.raises(ValueError):
+            h.add_class("A", "Ghost")
+
+    def test_object_cannot_get_superclass(self, hierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.add_class(OBJECT_CLASS_NAME, "A")
+
+
+class TestSubtyping:
+    def test_reflexive(self, hierarchy):
+        a = hierarchy.get("A")
+        assert hierarchy.is_subtype(a, a)
+
+    def test_direct_and_transitive(self, hierarchy):
+        assert hierarchy.is_subtype(hierarchy.get("B"), hierarchy.get("A"))
+        assert hierarchy.is_subtype(hierarchy.get("D"), hierarchy.get("A"))
+
+    def test_not_symmetric(self, hierarchy):
+        assert not hierarchy.is_subtype(hierarchy.get("A"), hierarchy.get("B"))
+
+    def test_siblings_unrelated(self, hierarchy):
+        assert not hierarchy.is_subtype(hierarchy.get("B"), hierarchy.get("C"))
+        assert not hierarchy.is_subtype(hierarchy.get("E"), hierarchy.get("A"))
+
+    def test_everything_subtype_of_object(self, hierarchy):
+        root = hierarchy.get(OBJECT_CLASS_NAME)
+        for cls in hierarchy:
+            assert hierarchy.is_subtype(cls, root)
+
+    def test_null_subtype_of_everything(self, hierarchy):
+        assert hierarchy.is_subtype(NULL_TYPE, hierarchy.get("D"))
+
+    def test_error_type_not_subtype(self, hierarchy):
+        assert not hierarchy.is_subtype(ERROR_TYPE, hierarchy.get("A"))
+
+
+class TestQueries:
+    def test_superclass_chain(self, hierarchy):
+        chain = hierarchy.superclass_chain(hierarchy.get("D"))
+        assert [c.name for c in chain] == ["D", "B", "A", OBJECT_CLASS_NAME]
+
+    def test_superclass_of_root_is_none(self, hierarchy):
+        assert hierarchy.superclass(hierarchy.get(OBJECT_CLASS_NAME)) is None
+
+    def test_subtypes_transitive_reflexive(self, hierarchy):
+        names = {c.name for c in hierarchy.subtypes(hierarchy.get("A"))}
+        assert names == {"A", "B", "C", "D"}
+
+    def test_subtypes_of_leaf(self, hierarchy):
+        assert [c.name for c in hierarchy.subtypes(hierarchy.get("E"))] == ["E"]
+
+    def test_iteration_and_len(self, hierarchy):
+        assert len(list(hierarchy)) == len(hierarchy) == 6

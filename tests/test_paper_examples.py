@@ -1,0 +1,189 @@
+"""End-to-end reproductions of every worked example in the paper.
+
+Each test is named for the paper artifact it checks; together they pin
+down the behaviours the evaluation section depends on.
+"""
+
+import pytest
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.clients import build_call_graph, check_casts, devirtualize
+from repro.core import (
+    FieldPointsToGraph,
+    SharedAutomata,
+    build_fpg,
+    build_nfa,
+    dfa_equivalent,
+    merge_type_consistent_objects,
+    nfa_to_dfa,
+    shared_equivalent,
+)
+from repro.core.merging import MergeOptions
+from repro.frontend import parse_program
+from repro.pta import solve
+
+
+class TestFigure1AndExample21:
+    """Figure 1 + Example 2.1: precise analyses devirtualize a.foo() and
+    prove the cast safe; the allocation-type abstraction does neither."""
+
+    def test_allocation_site_abstraction_is_precise(self, figure1_program):
+        result = solve(figure1_program)
+        assert devirtualize(result).poly_call_site_count == 0
+        assert devirtualize(result).mono_call_site_count == 1
+        assert check_casts(result).may_fail_count == 0
+        # a points only to o6 (type C)
+        a = result.var_points_to("<Main>.main", "a")
+        assert {d.class_name for d in a} == {"C"}
+        assert {d.site_key for d in a} == {6}
+
+    def test_allocation_type_abstraction_loses_precision(self, figure1_program):
+        run = run_analysis(figure1_program, "T-ci")
+        result = run.result
+        assert devirtualize(result).poly_call_site_count == 1
+        assert check_casts(result).may_fail_count == 1
+
+    def test_mahjong_preserves_precision(self, figure1_program):
+        run = run_analysis(figure1_program, "M-ci")
+        result = run.result
+        assert devirtualize(result).poly_call_site_count == 0
+        assert check_casts(result).may_fail_count == 0
+
+
+class TestExample23:
+    """Example 2.3: o2 ≡ o3 (both store C) but o1 stores B, so only the
+    allocation sites 2 and 3 merge."""
+
+    def test_merge_classes(self, figure1_program):
+        pre = run_pre_analysis(figure1_program)
+        classes = sorted(tuple(sorted(c)) for c in pre.merge.classes)
+        assert (2, 3) in classes       # y, z merge
+        assert (1,) in classes         # x alone (stores B)
+        assert (5, 6) in classes       # the two C payloads merge
+        assert (4,) in classes         # the B payload
+
+
+class TestFigure2AndExamples22_25_26:
+    """Figure 2 / Examples 2.2, 2.5, 2.6: the two rooted field points-to
+    graphs map to equivalent automata."""
+
+    def fpg(self):
+        from tests.test_core_automata import figure2_fpg
+
+        return figure2_fpg()
+
+    def test_example_2_2_field_points_to_graph(self):
+        fpg = self.fpg()
+        assert fpg.points_to(2, "f") == frozenset([4])
+        assert fpg.points_to(4, "h") == frozenset([8])
+        assert fpg.points_to(1, "f") == frozenset([3])
+        # pts(o1.f.h) = {o7, o9}
+        assert fpg.points_to(3, "h") == frozenset([7, 9])
+
+    def test_example_2_5_automata_construction(self):
+        nfa = build_nfa(self.fpg(), 2)
+        assert nfa.q0 == 2
+        assert nfa.sigma == frozenset(["f", "g", "h", "k"])
+        assert nfa.gamma[2] == "T"
+
+    def test_example_2_6_equivalence(self):
+        fpg = self.fpg()
+        assert dfa_equivalent(
+            nfa_to_dfa(build_nfa(fpg, 1)), nfa_to_dfa(build_nfa(fpg, 2))
+        )
+        shared = SharedAutomata(fpg)
+        assert shared_equivalent(shared.dfa_root(1), shared.dfa_root(2))
+
+
+class TestFigure3AndExample24:
+    """Figure 3 / Example 2.4: Condition 2 rejects objects whose field
+    frontier mixes types, even though their automata are identical."""
+
+    def test_condition_2_blocks_merging(self):
+        fpg = FieldPointsToGraph()
+        fpg.add_object(1, "T")
+        fpg.add_object(2, "T")
+        fpg.add_object(3, "X")
+        fpg.add_object(4, "Y")
+        for root in (1, 2):
+            fpg.add_edge(root, "f", 3)
+            fpg.add_edge(root, "f", 4)
+        result = merge_type_consistent_objects(fpg)
+        assert all(len(c) == 1 for c in result.classes)
+        assert result.singletype_failures > 0
+
+
+class TestFigure6NullFieldProblem:
+    """Figure 6 / Example 3.1: a field holding only null is distinguished
+    from a field holding an object — the FPG's null node does this."""
+
+    def test_null_field_object_not_merged_with_initialized_peer(self):
+        src = """
+        class T { field f: X; }
+        class X { }
+        main {
+          a = new T();
+          x = new X();
+          a.f = x;
+          b = new T();
+        }
+        """
+        pre = run_pre_analysis(parse_program(src))
+        classes = sorted(tuple(sorted(c)) for c in pre.merge.classes)
+        assert (1,) in classes and (3,) in classes
+
+
+class TestFigure7AndExample32:
+    """Figure 7 / Example 3.2: the representative choice changes which
+    containing class M-ktype uses as context element."""
+
+    SOURCE = """
+    class T {
+      static method siteOne() { o = new A(); f = new X(); o.f = f; return o; }
+      static method siteTwo() { o = new A(); f = new Y(); o.f = f; return o; }
+    }
+    class U {
+      static method siteThree() { o = new A(); f = new X(); o.f = f; return o; }
+    }
+    class A { field f: Object; }
+    class X { }
+    class Y { }
+    main {
+      a1 = T::siteOne();
+      a2 = T::siteTwo();
+      a3 = U::siteThree();
+    }
+    """
+
+    def test_sites_one_and_three_merge(self):
+        pre = run_pre_analysis(parse_program(self.SOURCE))
+        mom = pre.merge.mom
+        # site 1 (in T) and site 5 (in U) both store X
+        assert mom[1] == mom[5]
+        assert mom[3] != mom[1]  # stores Y
+
+    def test_representative_policy_changes_context_class(self):
+        program = parse_program(self.SOURCE)
+        pre_min = run_pre_analysis(
+            program, merge_options=MergeOptions(representative_policy="min_site")
+        )
+        pre_max = run_pre_analysis(
+            program, merge_options=MergeOptions(representative_policy="max_site")
+        )
+        rep_min = pre_min.abstraction.representative(1)
+        rep_max = pre_max.abstraction.representative(1)
+        assert rep_min != rep_max
+        assert pre_min.abstraction.containing_class(1, "A", program) == "T"
+        assert pre_max.abstraction.containing_class(1, "A", program) == "U"
+
+
+class TestSection21Motivation:
+    """The pmd anecdote in miniature: on the Figure 1 program the three
+    heap abstractions order exactly as the paper describes."""
+
+    def test_edge_count_ordering(self, figure1_program):
+        base = build_call_graph(run_analysis(figure1_program, "ci").result)
+        mahjong = build_call_graph(run_analysis(figure1_program, "M-ci").result)
+        alloc_type = build_call_graph(run_analysis(figure1_program, "T-ci").result)
+        assert base.edge_count == mahjong.edge_count
+        assert mahjong.edge_count < alloc_type.edge_count

@@ -1,0 +1,83 @@
+"""Integration tests for the paper's central claims (Section 3.6.2).
+
+On whole generated workloads:
+
+* **Soundness** — M-kA's call graph over-approximates kA's (merging only
+  coarsens the heap, so no true edge can disappear);
+* **Precision preservation** — M-kA matches kA exactly on all three
+  type-dependent client metrics for these workloads (the paper reports
+  "nearly the same": equality holds here because the generated programs
+  avoid the rare null-field corner);
+* **The allocation-type abstraction is strictly worse** on workloads
+  containing homogeneous containers.
+"""
+
+import pytest
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.workloads import generate, profile_spec
+
+CLIENT_METRICS = ("call_graph_edges", "poly_call_sites", "may_fail_casts")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(profile_spec("tiny", scale=2.0))
+
+
+@pytest.fixture(scope="module")
+def pre(workload):
+    return run_pre_analysis(workload)
+
+
+@pytest.mark.parametrize("baseline", ["ci", "2cs", "2obj", "2type"])
+def test_mahjong_preserves_client_precision(workload, pre, baseline):
+    base = run_analysis(workload, baseline, timeout_seconds=120).metrics()
+    mahjong = run_analysis(workload, f"M-{baseline}", timeout_seconds=120,
+                           pre=pre).metrics()
+    for metric in CLIENT_METRICS:
+        assert mahjong[metric] == base[metric], metric
+
+
+@pytest.mark.parametrize("baseline", ["ci", "2obj"])
+def test_mahjong_call_graph_is_sound_superset(workload, pre, baseline):
+    base = run_analysis(workload, baseline, timeout_seconds=120)
+    mahjong = run_analysis(workload, f"M-{baseline}", timeout_seconds=120,
+                           pre=pre)
+    assert base.result.call_graph_edges() <= mahjong.result.call_graph_edges()
+
+
+def test_alloc_type_strictly_less_precise(workload):
+    base = run_analysis(workload, "2obj", timeout_seconds=120).metrics()
+    alloc_type = run_analysis(workload, "T-2obj", timeout_seconds=120).metrics()
+    assert alloc_type["may_fail_casts"] > base["may_fail_casts"]
+    assert alloc_type["call_graph_edges"] >= base["call_graph_edges"]
+
+
+def test_mahjong_reduces_abstract_objects(workload, pre):
+    base = run_analysis(workload, "2obj", timeout_seconds=120).metrics()
+    mahjong = run_analysis(workload, "M-2obj", timeout_seconds=120,
+                           pre=pre).metrics()
+    assert mahjong["abstract_objects"] < base["abstract_objects"]
+    assert mahjong["method_contexts"] <= base["method_contexts"]
+
+
+def test_merged_objects_modeled_context_insensitively(workload, pre):
+    """Section 3.6: merged objects get the empty heap context even under
+    deep object-sensitivity."""
+    run = run_analysis(workload, "M-3obj", timeout_seconds=120, pre=pre)
+    result = run.result
+    abstraction = pre.abstraction
+    for obj in result.objects():
+        sites = result.object_sites(obj)
+        if any(abstraction.class_size(site) > 1 for site in sites):
+            assert result.object_heap_context(obj) == ()
+
+
+def test_ci_pre_analysis_is_upper_bound_for_main_edges(workload, pre):
+    """The pre-analysis is the least precise allocation-site analysis, so
+    every main analysis finds a subset of its call graph edges."""
+    ci_edges = pre.result.call_graph_edges()
+    for config in ("2cs", "M-2obj", "2type"):
+        run = run_analysis(workload, config, timeout_seconds=120, pre=pre)
+        assert run.result.call_graph_edges() <= ci_edges

@@ -1,0 +1,105 @@
+"""Unit tests for context selectors."""
+
+import pytest
+
+from repro.pta.context import (
+    CallSiteSensitive,
+    ContextInsensitive,
+    EMPTY_CONTEXT,
+    ObjectSensitive,
+    ReceiverInfo,
+    TypeSensitive,
+    selector_for,
+    wants_type_elements,
+)
+
+
+def receiver(element, heap_context=()):
+    return ReceiverInfo(obj_id=0, heap_context=heap_context,
+                        context_element=element)
+
+
+class TestContextInsensitive:
+    def test_everything_is_empty(self):
+        s = ContextInsensitive()
+        assert s.select_virtual((1, 2), 3, receiver(9)) == EMPTY_CONTEXT
+        assert s.select_static((1,), 3) == EMPTY_CONTEXT
+        assert s.select_heap((1,), 5) == EMPTY_CONTEXT
+
+
+class TestCallSiteSensitive:
+    def test_appends_call_site_and_truncates(self):
+        s = CallSiteSensitive(2)
+        assert s.select_virtual((), 7, receiver(0)) == (7,)
+        assert s.select_virtual((1, 2), 7, receiver(0)) == (2, 7)
+
+    def test_static_calls_same_as_virtual(self):
+        s = CallSiteSensitive(2)
+        assert s.select_static((1, 2), 7) == (2, 7)
+
+    def test_heap_context_keeps_k_minus_1(self):
+        assert CallSiteSensitive(1).select_heap((4,), 9) == ()
+        assert CallSiteSensitive(2).select_heap((3, 4), 9) == (4,)
+        assert CallSiteSensitive(3).select_heap((2, 3, 4), 9) == (3, 4)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CallSiteSensitive(0)
+
+
+class TestObjectSensitive:
+    def test_context_is_receiver_chain(self):
+        s = ObjectSensitive(2)
+        # receiver allocated under heap context (10,), its site is 20
+        assert s.select_virtual((99,), 1, receiver(20, (10,))) == (10, 20)
+
+    def test_truncation_at_k(self):
+        s = ObjectSensitive(2)
+        assert s.select_virtual((), 1, receiver(30, (10, 20))) == (20, 30)
+        s3 = ObjectSensitive(3)
+        assert s3.select_virtual((), 1, receiver(30, (10, 20))) == (10, 20, 30)
+
+    def test_static_calls_inherit_caller_context(self):
+        s = ObjectSensitive(2)
+        assert s.select_static((5, 6), 1) == (5, 6)
+
+    def test_heap_context(self):
+        assert ObjectSensitive(1).select_heap((4,), 9) == ()
+        assert ObjectSensitive(3).select_heap((2, 3, 4), 9) == (3, 4)
+
+
+class TestTypeSensitive:
+    def test_structurally_like_object_sensitivity(self):
+        s = TypeSensitive(2)
+        assert s.select_virtual((), 1, receiver("Cls", ("Sup",))) == (
+            "Sup", "Cls"
+        )
+
+    def test_wants_type_elements(self):
+        assert wants_type_elements(TypeSensitive(2))
+        assert not wants_type_elements(ObjectSensitive(2))
+        assert not wants_type_elements(ContextInsensitive())
+
+
+class TestSelectorFor:
+    @pytest.mark.parametrize("name, cls, k", [
+        ("ci", ContextInsensitive, None),
+        ("1cs", CallSiteSensitive, 1),
+        ("2cs", CallSiteSensitive, 2),
+        ("2obj", ObjectSensitive, 2),
+        ("3obj", ObjectSensitive, 3),
+        ("2type", TypeSensitive, 2),
+        ("3type", TypeSensitive, 3),
+        ("10obj", ObjectSensitive, 10),
+    ])
+    def test_parses_known_names(self, name, cls, k):
+        selector = selector_for(name)
+        assert isinstance(selector, cls)
+        if k is not None:
+            assert selector.k == k
+        assert selector.name == name
+
+    @pytest.mark.parametrize("bad", ["", "obj", "xobj", "2foo", "cs2", "2"])
+    def test_rejects_unknown_names(self, bad):
+        with pytest.raises(ValueError):
+            selector_for(bad)

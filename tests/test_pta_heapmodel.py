@@ -1,0 +1,103 @@
+"""Unit tests for the three heap abstractions."""
+
+from repro.frontend import parse_program
+from repro.pta import (
+    AllocationSiteAbstraction,
+    AllocationTypeAbstraction,
+    MahjongAbstraction,
+    solve,
+)
+
+SOURCE = """
+class A { field f: Object; }
+class B { }
+main {
+  a1 = new A();
+  a2 = new A();
+  b = new B();
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+class TestAllocationSite:
+    def test_one_key_per_site(self):
+        model = AllocationSiteAbstraction()
+        assert model.site_key(1, "A") == 1
+        assert model.site_key(2, "A") == 2
+
+    def test_nothing_is_merged(self):
+        model = AllocationSiteAbstraction()
+        assert not model.is_merged(1, "A")
+
+    def test_containing_class(self):
+        p = program()
+        model = AllocationSiteAbstraction()
+        assert model.containing_class(1, "A", p) == "<Main>"
+
+
+class TestAllocationType:
+    def test_same_type_sites_share_key(self):
+        model = AllocationTypeAbstraction(program())
+        assert model.site_key(1, "A") == model.site_key(2, "A")
+        assert model.site_key(1, "A") != model.site_key(3, "B")
+
+    def test_merged_only_for_multi_site_classes(self):
+        model = AllocationTypeAbstraction(program())
+        assert model.is_merged(1, "A")
+        assert not model.is_merged(3, "B")
+
+    def test_object_count_bound_is_type_count(self):
+        model = AllocationTypeAbstraction(program())
+        assert model.object_count_upper_bound() == 2
+
+    def test_solver_object_count_equals_types(self):
+        r = solve(program(), heap_model=AllocationTypeAbstraction(program()))
+        assert r.object_count == 2
+
+
+class TestMahjong:
+    def test_representative_lookup(self):
+        model = MahjongAbstraction({1: 1, 2: 1, 3: 3})
+        assert model.representative(1) == 1
+        assert model.representative(2) == 1
+        assert model.representative(3) == 3
+
+    def test_unknown_sites_are_their_own_representative(self):
+        model = MahjongAbstraction({1: 1})
+        assert model.representative(99) == 99
+        assert not model.is_merged(99, "A")
+
+    def test_is_merged_iff_class_bigger_than_one(self):
+        model = MahjongAbstraction({1: 1, 2: 1, 3: 3})
+        assert model.is_merged(1, "A")
+        assert model.is_merged(2, "A")
+        assert not model.is_merged(3, "A")
+
+    def test_class_size(self):
+        model = MahjongAbstraction({1: 1, 2: 1, 3: 1, 4: 4})
+        assert model.class_size(2) == 3
+        assert model.class_size(4) == 1
+
+    def test_containing_class_uses_representative(self):
+        src = """
+        class H { static method mk() { x = new A(); return x; } }
+        class A { }
+        main { a = H::mk(); b = new A(); }
+        """
+        p = parse_program(src)
+        # site 1 is inside H.mk, site 2 inside <Main>
+        model = MahjongAbstraction({1: 1, 2: 1})
+        assert model.containing_class(2, "A", p) == "H"
+
+    def test_solver_uses_merged_key(self):
+        p = program()
+        model = MahjongAbstraction({1: 1, 2: 1, 3: 3})
+        r = solve(p, heap_model=model)
+        assert r.object_count == 2
+        # the merged object records both provenance sites
+        merged_objs = [o for o in r.objects() if r.object_sites(o) == {1, 2}]
+        assert len(merged_objs) == 1

@@ -1,0 +1,86 @@
+"""Unit tests for the PointsToResult query surface."""
+
+from repro.frontend import parse_program
+from repro.pta import selector_for, solve
+
+SOURCE = """
+class A {
+  field f: Object;
+  method set(v) { this.f = v; }
+}
+main {
+  a = new A();
+  v = new Object();
+  a.set(v);
+  w = a.f;
+}
+"""
+
+
+def result(selector="ci"):
+    return solve(parse_program(SOURCE), selector_for(selector))
+
+
+class TestObjects:
+    def test_object_count_and_iteration(self):
+        r = result()
+        assert r.object_count == 2
+        assert list(r.objects()) == [0, 1]
+
+    def test_object_metadata(self):
+        r = result()
+        classes = {r.object_class(o) for o in r.objects()}
+        assert classes == {"A", "Object"}
+        for o in r.objects():
+            assert r.object_sites(o) <= {1, 2}
+            assert r.object_heap_context(o) == ()
+
+    def test_describe_object(self):
+        r = result()
+        d = r.describe_object(0)
+        assert d.class_name == "A"
+        assert d.site_key == 1
+        assert "A" in str(d)
+
+
+class TestVarQueries:
+    def test_per_context_and_merged(self):
+        r = result("1cs")
+        contexts = r.contexts_of_method("A.set")
+        assert len(contexts) == 1
+        (ctx,) = contexts
+        merged = r.var_points_to("A.set", "v")
+        per_context = r.var_points_to("A.set", "v", ctx)
+        assert merged == per_context
+        assert {d.class_name for d in merged} == {"Object"}
+
+    def test_unknown_var_is_empty(self):
+        assert result().var_points_to("A.set", "ghost") == set()
+
+    def test_total_context_count(self):
+        assert result().total_context_count() == 2  # main + A.set
+
+
+class TestFieldFacts:
+    def test_field_points_to_iteration(self):
+        r = result()
+        facts = list(r.field_points_to())
+        assert len(facts) == 1
+        base, field_name, pointee = facts[0]
+        assert field_name == "f"
+        assert r.object_class(base) == "A"
+        assert r.object_class(pointee) == "Object"
+
+    def test_fields_written(self):
+        r = result()
+        a_obj = next(o for o in r.objects() if r.object_class(o) == "A")
+        assert r.fields_written(a_obj) == {"f"}
+
+
+class TestSubtypeQuery:
+    def test_is_subtype_via_result(self):
+        src = "class A { } class B extends A { } main { b = new B(); }"
+        r = solve(parse_program(src))
+        assert r.is_subtype("B", "A")
+        assert not r.is_subtype("A", "B")
+        assert not r.is_subtype("A", "Ghost")

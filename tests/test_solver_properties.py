@@ -1,0 +1,146 @@
+"""Metamorphic and lattice property tests for the points-to solver.
+
+Run over arbitrary well-formed programs from
+:mod:`tests.program_strategies`:
+
+* internal consistency (call-graph callees reachable, dispatch names
+  match, points-to sets draw from interned objects);
+* flow-insensitivity (statement order within a method is irrelevant);
+* the precision lattice (context-sensitive edges ⊆ context-insensitive
+  edges; allocation-type ⊇ allocation-site);
+* MAHJONG soundness (merging only coarsens: edges never disappear)
+  and the precision-preservation theorem's testable half.
+"""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.ir.program import Method, Program
+from repro.pta import selector_for, solve
+
+from tests.program_strategies import ir_programs
+
+_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+def shuffled_copy(program: Program, seed: int) -> Program:
+    """The same program with every method body randomly permuted."""
+    rng = random.Random(seed)
+    clone = Program(program.hierarchy)
+    for decl in program.classes.values():
+        from repro.ir.program import ClassDecl
+
+        new_decl = ClassDecl(decl.type)
+        for fdecl in decl.fields.values():
+            new_decl.add_field(fdecl)
+        for method in decl.methods.values():
+            statements = list(method.statements)
+            rng.shuffle(statements)
+            new_decl.add_method(Method(
+                method.class_name, method.name, method.params,
+                statements, method.is_static,
+            ))
+        clone.add_class(new_decl)
+    entry = program.entry
+    statements = list(entry.statements)
+    rng.shuffle(statements)
+    clone.set_entry(Method(entry.class_name, entry.name, entry.params,
+                           statements, entry.is_static))
+    clone.finalize()
+    return clone
+
+
+class TestInternalConsistency:
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_call_graph_targets_are_reachable_and_well_named(self, program):
+        result = solve(program)
+        reachable = result.reachable_methods()
+        for call_site, callee in result.call_graph_edges():
+            assert callee in reachable
+            stmt = program.call_site(call_site)
+            method_name = getattr(stmt, "method_name")
+            assert callee.endswith(f".{method_name}")
+
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_points_to_objects_are_interned(self, program):
+        result = solve(program)
+        object_ids = set(result.objects())
+        for method in program.all_methods():
+            for var in method.local_variables():
+                assert result.var_points_to_ids(
+                    method.qualified_name, var
+                ) <= object_ids
+
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_every_context_sensitive_edge_projects(self, program):
+        result = solve(program, selector_for("2obj"))
+        assert result.context_sensitive_edge_count() >= len(
+            result.call_graph_edges()
+        )
+
+
+class TestFlowInsensitivity:
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_statement_order_is_irrelevant(self, program):
+        base = solve(program)
+        shuffled = solve(shuffled_copy(program, seed=99))
+        assert base.call_graph_edges() == shuffled.call_graph_edges()
+        assert base.reachable_methods() == shuffled.reachable_methods()
+        for method in program.all_methods():
+            qname = method.qualified_name
+            for var in method.local_variables():
+                a = {d.site_key for d in base.var_points_to(qname, var)}
+                b = {d.site_key for d in shuffled.var_points_to(qname, var)}
+                assert a == b, (qname, var)
+
+
+class TestPrecisionLattice:
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_context_sensitivity_only_removes_edges(self, program):
+        ci_edges = solve(program).call_graph_edges()
+        for name in ("1cs", "2cs", "2obj", "2type"):
+            cs_edges = solve(program, selector_for(name)).call_graph_edges()
+            assert cs_edges <= ci_edges, name
+
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_object_sensitivity_refines_type_sensitivity(self, program):
+        obj_edges = solve(program, selector_for("2obj")).call_graph_edges()
+        type_edges = solve(program, selector_for("2type")).call_graph_edges()
+        assert obj_edges <= type_edges
+
+
+class TestMahjongProperties:
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_merging_is_sound(self, program):
+        pre = run_pre_analysis(program)
+        for baseline in ("ci", "2obj"):
+            base = run_analysis(program, baseline).result
+            merged = run_analysis(program, f"M-{baseline}", pre=pre).result
+            assert base.call_graph_edges() <= merged.call_graph_edges()
+            assert base.reachable_methods() <= merged.reachable_methods()
+
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_merging_never_increases_objects(self, program):
+        pre = run_pre_analysis(program)
+        base = run_analysis(program, "ci").result
+        merged = run_analysis(program, "M-ci", pre=pre).result
+        assert merged.object_count <= base.object_count
+
+    @given(ir_programs())
+    @settings(**_SETTINGS)
+    def test_mom_closed_over_program_sites(self, program):
+        pre = run_pre_analysis(program)
+        sites = set(program.alloc_sites())
+        for site, representative in pre.merge.mom.items():
+            assert site in sites
+            assert representative in sites

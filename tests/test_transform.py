@@ -1,0 +1,125 @@
+"""Tests for IR transformations and their analysis invariants."""
+
+from hypothesis import given, settings
+
+from repro.analysis import run_analysis
+from repro.frontend import parse_program
+from repro.interp import interpret
+from repro.pta import solve
+from repro.transform import eliminate_dead_methods, rename_locals
+
+from tests.program_strategies import ir_programs
+
+_METRICS = ("call_graph_edges", "poly_call_sites", "may_fail_casts",
+            "reachable_methods", "escaping_exceptions")
+
+DEAD_CODE = """
+class Live { method used() { return this; } }
+class Dead {
+  method never(x) { return x; }
+  method alsoNever() { d = new Dead(); return d; }
+}
+class Util {
+  static method helper(x) { return x; }
+  static method unusedHelper() { u = new Util(); return u; }
+}
+main {
+  a = new Live();
+  a.used();
+  r = Util::helper(a);
+}
+"""
+
+
+class TestDeadMethodElimination:
+    def test_removes_exactly_the_unreachable(self):
+        program = parse_program(DEAD_CODE)
+        slim, removed = eliminate_dead_methods(program)
+        assert removed == {"Dead.never", "Dead.alsoNever",
+                           "Util.unusedHelper"}
+        assert "used" in slim.get_class("Live").methods
+        assert slim.stats()["methods"] < program.stats()["methods"]
+
+    def test_analysis_results_unchanged(self):
+        program = parse_program(DEAD_CODE)
+        slim, _ = eliminate_dead_methods(program)
+        for config in ("ci", "2obj", "M-2obj"):
+            before = run_analysis(program, config).metrics()
+            after = run_analysis(slim, config).metrics()
+            for metric in _METRICS:
+                assert before[metric] == after[metric], (config, metric)
+
+    def test_concrete_execution_unchanged(self):
+        program = parse_program(DEAD_CODE)
+        slim, _ = eliminate_dead_methods(program)
+        assert interpret(program).call_edges == interpret(slim).call_edges
+
+    @given(ir_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_invariance_on_generated_programs(self, program):
+        slim, removed = eliminate_dead_methods(program)
+        before = solve(program)
+        after = solve(slim)
+        assert before.call_graph_edges() == after.call_graph_edges()
+        assert before.reachable_methods() == after.reachable_methods()
+        assert removed.isdisjoint(after.reachable_methods())
+
+    def test_idempotent(self):
+        program = parse_program(DEAD_CODE)
+        slim, _ = eliminate_dead_methods(program)
+        slimmer, removed_again = eliminate_dead_methods(slim)
+        assert removed_again == set()
+        assert slimmer.stats() == slim.stats()
+
+
+class TestRenameLocals:
+    def test_renames_locals_only(self):
+        src = """
+        class A { method m(p) { x = new A(); y = x; return y; } }
+        main { a = new A(); r = a.m(a); }
+        """
+        renamed = rename_locals(parse_program(src))
+        method = renamed.get_class("A").methods["m"]
+        names = set(method.local_variables())
+        assert "p" in names and "this" in names
+        assert "x" not in names and "y" not in names
+        assert any(name.startswith("v") for name in names)
+
+    def test_sites_preserved(self):
+        program = parse_program(DEAD_CODE)
+        renamed = rename_locals(program)
+        assert set(renamed.alloc_sites()) == set(program.alloc_sites())
+
+    @given(ir_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_analysis_invariant_under_renaming(self, program):
+        renamed = rename_locals(program)
+        before = solve(program)
+        after = solve(renamed)
+        assert before.call_graph_edges() == after.call_graph_edges()
+        assert before.object_count == after.object_count
+        # per-site cast verdicts identical
+        before_casts = {
+            (site, frozenset(objs))
+            for site, _, objs in before.cast_records()
+        }
+        after_casts = {
+            (site, frozenset(objs))
+            for site, _, objs in after.cast_records()
+        }
+        assert {s for s, _ in before_casts} == {s for s, _ in after_casts}
+
+    def test_renaming_then_printing_roundtrips(self):
+        from repro.ir.printer import print_program
+
+        program = rename_locals(parse_program(DEAD_CODE))
+        reparsed = parse_program(print_program(program))
+        assert reparsed.stats() == program.stats()
+
+    def test_composes_with_dead_code_elimination(self):
+        program = parse_program(DEAD_CODE)
+        slim, _ = eliminate_dead_methods(rename_locals(program))
+        metrics = run_analysis(slim, "M-2obj").metrics()
+        baseline = run_analysis(program, "M-2obj").metrics()
+        for metric in _METRICS:
+            assert metrics[metric] == baseline[metric]

@@ -1,0 +1,106 @@
+"""Tests for DOT export."""
+
+from repro.analysis import run_pre_analysis
+from repro.clients import build_call_graph
+from repro.core import SharedAutomata, build_nfa, nfa_to_dfa
+from repro.core.fpg import FieldPointsToGraph
+from repro.core.merging import merge_type_consistent_objects
+from repro.frontend import parse_program
+from repro.pta import solve
+from repro.viz import (
+    call_graph_to_dot,
+    dfa_to_dot,
+    fpg_to_dot,
+    hierarchy_to_dot,
+    shared_dfa_to_dot,
+)
+
+
+def small_fpg():
+    fpg = FieldPointsToGraph()
+    fpg.add_object(1, "T")
+    fpg.add_object(2, "T")
+    fpg.add_object(3, "X")
+    fpg.add_edge(1, "f", 3)
+    fpg.add_edge(2, "f", 3)
+    fpg.add_null_field(2, "g")
+    return fpg
+
+
+class TestFpgDot:
+    def test_nodes_edges_and_null(self):
+        dot = fpg_to_dot(small_fpg())
+        assert dot.startswith('digraph "FPG"')
+        assert 'n1 [label="o1: T"' in dot
+        assert 'n1 -> n3 [label="f"];' in dot
+        assert 'n0 [label="null"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_merged_classes_share_color(self):
+        fpg = small_fpg()
+        mom = merge_type_consistent_objects(fpg).mom
+        dot = fpg_to_dot(fpg, mom)
+        # sites 1 and 2 do NOT merge (2 has a null g field), so no
+        # shared fill; force a merged map to see coloring:
+        dot = fpg_to_dot(fpg, {1: 1, 2: 1, 3: 3})
+        color_lines = [
+            l for l in dot.splitlines()
+            if 'fillcolor="#' in l and "null" not in l
+        ]
+        assert len(color_lines) == 2  # n1 and n2 colored alike
+        assert len({l.split("fillcolor=")[1] for l in color_lines}) == 1
+
+    def test_deterministic(self):
+        fpg = small_fpg()
+        assert fpg_to_dot(fpg) == fpg_to_dot(fpg)
+
+
+class TestDfaDot:
+    def test_explicit_dfa(self):
+        fpg = small_fpg()
+        dot = dfa_to_dot(nfa_to_dfa(build_nfa(fpg, 1)))
+        assert "doublecircle" in dot  # start state highlighted
+        assert '[label="f"]' in dot
+
+    def test_shared_dfa(self):
+        fpg = small_fpg()
+        shared = SharedAutomata(fpg)
+        dot = shared_dfa_to_dot(shared.dfa_root(1))
+        assert "{o1}" in dot
+        assert '[label="f"]' in dot
+
+
+class TestCallGraphDot:
+    SOURCE = """
+    class A { method foo() { return this; } }
+    main { a = new A(); a.foo(); }
+    """
+
+    def test_method_level_rendering(self):
+        program = parse_program(self.SOURCE)
+        cg = build_call_graph(solve(program))
+        dot = call_graph_to_dot(cg.edges, program)
+        assert '[label="<Main>.main"]' in dot
+        assert '[label="A.foo"]' in dot
+        assert "->" in dot
+
+    def test_site_level_rendering(self):
+        program = parse_program(self.SOURCE)
+        cg = build_call_graph(solve(program))
+        dot = call_graph_to_dot(cg.edges)
+        assert 'site1 -> "A.foo";' in dot
+
+
+class TestHierarchyDot:
+    def test_edges_point_down(self, figure1_program):
+        dot = hierarchy_to_dot(figure1_program)
+        assert '"A" -> "B";' in dot
+        assert '"A" -> "C";' in dot
+        assert '"Object" -> "A";' in dot
+
+
+class TestOnRealWorkload:
+    def test_whole_pipeline_renders(self, tiny_program):
+        pre = run_pre_analysis(tiny_program)
+        dot = fpg_to_dot(pre.fpg, pre.merge.mom)
+        assert dot.count("->") == pre.fpg.edge_count()

@@ -1,0 +1,54 @@
+"""Tests for the error-handling workload pattern."""
+
+from dataclasses import replace
+
+from repro.analysis import run_analysis, run_pre_analysis
+from repro.clients import analyze_exceptions
+from repro.ir.validate import validate
+from repro.pta import solve
+from repro.workloads import TINY, generate
+
+
+def exceptional_tiny():
+    return generate(replace(TINY, exception_sites=6, seed=21))
+
+
+def test_pattern_generates_valid_program():
+    program = exceptional_tiny()
+    assert validate(program) == []
+
+
+def test_exceptions_escape_and_are_caught():
+    program = exceptional_tiny()
+    report = analyze_exceptions(solve(program))
+    # half the jobs catch (flow-insensitively: still propagates), some
+    # let their failure kind escape — either way something escapes main
+    assert report.escaping_class_count >= 1
+    assert all(name.startswith("Failure") for name in report.escaping_classes)
+
+
+def test_failure_objects_merge_per_kind():
+    program = exceptional_tiny()
+    pre = run_pre_analysis(program)
+    fpg = pre.fpg
+    by_kind = {}
+    for site in fpg.objects():
+        type_name = fpg.type_of(site)
+        if type_name.startswith("Failure") and type_name != "Failure":
+            by_kind.setdefault(type_name, set()).add(pre.merge.mom[site])
+    assert by_kind
+    for representatives in by_kind.values():
+        assert len(representatives) == 1
+
+
+def test_mahjong_preserves_escape_metric():
+    program = exceptional_tiny()
+    pre = run_pre_analysis(program)
+    base = run_analysis(program, "2obj").metrics()
+    merged = run_analysis(program, "M-2obj", pre=pre).metrics()
+    assert base["escaping_exceptions"] == merged["escaping_exceptions"]
+
+
+def test_metric_zero_without_exceptions(tiny_program):
+    metrics = run_analysis(tiny_program, "ci").metrics()
+    assert metrics["escaping_exceptions"] == 0
