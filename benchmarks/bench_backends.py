@@ -1,0 +1,75 @@
+"""Points-to representation benchmarks: bitset vs legacy sets.
+
+Two layers, mirroring ``python -m repro.bench backends``:
+
+* propagation replay over the frozen constraint graph — the pure
+  representation kernel (difference propagation, union, cast filters);
+* full solves under each backend — the Amdahl-bound end-to-end view.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.backends import replay_propagation
+from repro.pta.bitset import BACKEND_BITSET, BACKEND_SET
+from repro.pta.context import selector_for
+from repro.pta.solver import Solver
+
+from benchmarks.conftest import program_for
+
+PROFILES = ["luindex", "eclipse"]
+BACKENDS = [BACKEND_SET, BACKEND_BITSET]
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_full_solve(benchmark, profile, backend):
+    program = program_for(profile)
+    benchmark.group = f"backends-solve-{profile}"
+    result = benchmark(
+        lambda: Solver(program, pts_backend=backend).solve()
+    )
+    assert result.pts_backend == backend
+    assert result.object_count > 0
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_propagation_replay(benchmark, profile, backend):
+    """Replay kernels alone; pytest-benchmark handles the repetition, so
+    ``repeats=1`` per measured call."""
+    from repro.bench.backends import _replay_bits, _replay_sets
+
+    program = program_for(profile)
+    solver = Solver(program, selector_for("ci"), pts_backend=BACKEND_BITSET)
+    solver.solve()
+    seeds = solver.propagation_seeds()
+    succs = solver._succs
+    n = len(succs)
+    benchmark.group = f"backends-replay-{profile}"
+    if backend == BACKEND_BITSET:
+        mask_for = solver._filter_masks.mask_for
+        _, iterations = benchmark(
+            lambda: _replay_bits(n, succs, seeds, mask_for)
+        )
+    else:
+        object_class = solver._object_class
+        is_subtype = solver._is_subtype_name
+        _, iterations = benchmark(
+            lambda: _replay_sets(n, succs, seeds, object_class, is_subtype)
+        )
+    assert iterations > 0
+
+
+@pytest.mark.parametrize("profile", ["luindex"])
+def test_replay_reproduces_solve(benchmark, profile):
+    """The harness's own correctness gate, kept under benchmark so the
+    suite exercises it at bench scale."""
+    program = program_for(profile)
+    measurement = benchmark.pedantic(
+        lambda: replay_propagation(program, "ci", repeats=1),
+        rounds=1, iterations=1,
+    )
+    assert measurement.facts > 0
+    assert measurement.speedup > 0

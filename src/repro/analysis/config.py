@@ -5,14 +5,25 @@ The paper's configuration grammar: an optional heap-abstraction prefix
 site) followed by a context-sensitivity name (``ci``, ``2cs``, ``2obj``,
 ``3obj``, ``2type``, ``3type``, ...).  Examples: ``3obj``, ``M-3obj``,
 ``T-2type``, ``M-ci``.
+
+A configuration may additionally pin the solver's points-to-set
+representation with an ``@backend`` suffix — ``3obj@set`` runs the
+baseline 3obj analysis on the legacy ``set[int]`` backend, ``M-3obj``
+(no suffix) uses the process default (bit-vector ints; see
+:mod:`repro.pta.bitset`).  The suffix exists for A/B validation: the
+differential tests and ``repro.bench backends`` run the same
+configuration under both representations and assert/measure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
-__all__ = ["AnalysisConfig", "parse_config", "PAPER_BASELINES", "PAPER_CONFIGS"]
+from repro.pta.bitset import BACKEND_NAMES
+
+__all__ = ["AnalysisConfig", "parse_config", "PAPER_BASELINES", "PAPER_CONFIGS",
+           "BACKEND_NAMES"]
 
 #: The five baselines the paper evaluates (Section 6.2.1).
 PAPER_BASELINES: Tuple[str, ...] = ("2cs", "2obj", "3obj", "2type", "3type")
@@ -30,6 +41,8 @@ class AnalysisConfig:
     name: str
     heap: str  # "alloc-site" | "alloc-type" | "mahjong"
     sensitivity: str  # "ci", "2cs", "3obj", ...
+    #: points-to-set representation; ``None`` = process default.
+    pts_backend: Optional[str] = None
 
     @property
     def needs_pre_analysis(self) -> bool:
@@ -40,22 +53,32 @@ class AnalysisConfig:
 
 
 def parse_config(name: str) -> AnalysisConfig:
-    """Parse a configuration name like ``M-3obj``.
+    """Parse a configuration name like ``M-3obj`` or ``3obj@set``.
 
-    Raises ``ValueError`` for unknown prefixes or sensitivities (the
-    sensitivity grammar is validated by
+    Raises ``ValueError`` for unknown prefixes, sensitivities, or
+    backend suffixes (the sensitivity grammar is validated by
     :func:`repro.pta.context.selector_for`).
     """
     from repro.pta.context import selector_for
 
+    base = name
+    pts_backend: Optional[str] = None
+    if "@" in name:
+        base, _, pts_backend = name.partition("@")
+        if pts_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown points-to backend {pts_backend!r} in {name!r}; "
+                f"known: {', '.join(BACKEND_NAMES)}"
+            )
     heap = "alloc-site"
-    sensitivity = name
-    if name.startswith("M-"):
+    sensitivity = base
+    if base.startswith("M-"):
         heap = "mahjong"
-        sensitivity = name[2:]
-    elif name.startswith("T-"):
+        sensitivity = base[2:]
+    elif base.startswith("T-"):
         heap = "alloc-type"
-        sensitivity = name[2:]
+        sensitivity = base[2:]
     # validate eagerly so configuration typos fail before a long solve
     selector_for(sensitivity)
-    return AnalysisConfig(name=name, heap=heap, sensitivity=sensitivity)
+    return AnalysisConfig(name=name, heap=heap, sensitivity=sensitivity,
+                          pts_backend=pts_backend)

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.analysis.config import AnalysisConfig, parse_config
+from repro.core.automata import SharedAutomata
+from repro.perf import PerfRecorder
 from repro.clients import (
     analyze_exceptions,
     build_call_graph,
@@ -122,17 +124,31 @@ def run_pre_analysis(
     program: Program,
     merge_options: Optional[MergeOptions] = None,
     timeout_seconds: Optional[float] = None,
+    pts_backend: Optional[str] = None,
+    perf: Optional[PerfRecorder] = None,
 ) -> PreAnalysisArtifacts:
-    """Phases 1–3: ci points-to analysis, FPG construction, MAHJONG."""
+    """Phases 1–3: ci points-to analysis, FPG construction, MAHJONG.
+
+    ``pts_backend`` selects the points-to-set representation for the
+    pre-analysis solve (``None`` = process default); ``perf``
+    optionally collects counters/timers across all three phases.
+    """
     t0 = time.monotonic()
     pre_result = Solver(program, selector_for("ci"),
                         AllocationSiteAbstraction(),
-                        timeout_seconds=timeout_seconds).solve()
+                        timeout_seconds=timeout_seconds,
+                        pts_backend=pts_backend, perf=perf).solve()
     t1 = time.monotonic()
     fpg = build_fpg(pre_result)
     t2 = time.monotonic()
-    merge = merge_type_consistent_objects(fpg, merge_options)
+    shared = SharedAutomata(fpg, perf=perf) if perf is not None else None
+    merge = merge_type_consistent_objects(fpg, merge_options, shared=shared)
     t3 = time.monotonic()
+    if perf is not None:
+        perf.add_time("pre.fpg", t2 - t1)
+        perf.add_time("pre.mahjong", t3 - t2)
+        if shared is not None:
+            shared.record_perf()
     return PreAnalysisArtifacts(
         result=pre_result,
         fpg=fpg,
@@ -150,6 +166,8 @@ def run_analysis(
     timeout_seconds: Optional[float] = None,
     pre: Optional[PreAnalysisArtifacts] = None,
     merge_options: Optional[MergeOptions] = None,
+    pts_backend: Optional[str] = None,
+    perf: Optional[PerfRecorder] = None,
 ) -> AnalysisRun:
     """Run a named analysis configuration end to end.
 
@@ -157,12 +175,17 @@ def run_analysis(
     configurations of the same program (how Table 2 accounts costs).
     ``timeout_seconds`` bounds the *main* analysis; on expiry the run is
     returned with ``timed_out=True`` rather than raising.
+    ``pts_backend`` overrides the configuration's ``@backend`` suffix;
+    with neither given, the process default representation is used.
     """
     config = parse_config(analysis)
+    if pts_backend is None:
+        pts_backend = config.pts_backend
     heap_model: HeapModel
     if config.heap == "mahjong":
         if pre is None:
-            pre = run_pre_analysis(program, merge_options)
+            pre = run_pre_analysis(program, merge_options,
+                                   pts_backend=pts_backend, perf=perf)
         heap_model = pre.abstraction
     elif config.heap == "alloc-type":
         heap_model = AllocationTypeAbstraction(program)
@@ -171,7 +194,8 @@ def run_analysis(
 
     selector = selector_for(config.sensitivity)
     solver = Solver(program, selector, heap_model,
-                    timeout_seconds=timeout_seconds)
+                    timeout_seconds=timeout_seconds,
+                    pts_backend=pts_backend, perf=perf)
     start = time.monotonic()
     try:
         result: Optional[PointsToResult] = solver.solve()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, List
 
-from repro.bench import (ablation, compare, fig8, fig9, motivating,
+from repro.bench import (ablation, backends, compare, fig8, fig9, motivating,
                          prestats, report, table1, table2)
 
 _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
@@ -17,6 +17,7 @@ _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "prestats": prestats.main,
     "ablation": ablation.main,
     "compare": compare.main,
+    "backends": backends.main,
     "report": report.main,
 }
 

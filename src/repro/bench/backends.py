@@ -1,0 +1,354 @@
+"""A/B benchmark: bitset vs legacy set points-to representation.
+
+Two views of the same question, reported together:
+
+* **Propagation replay** (the representation micro-benchmark).  Solve
+  once, freeze the discovered constraint graph, reconstruct the seed
+  facts (:meth:`repro.pta.solver.Solver.propagation_seeds`), then replay
+  pure worklist propagation to fixpoint under each backend.  Both
+  replays perform identical logical work — same seeds, same edges, same
+  filters — and the harness asserts they reproduce the original solve's
+  final points-to facts exactly, so the timing difference is *only* the
+  representation: difference propagation, union, cast filtering, and
+  delta pushing.
+
+* **Full solve** (the end-to-end view).  Wall-clock of complete solves
+  under each backend.  Full solves spend most of their time in
+  call-graph discovery and context machinery, which the representation
+  does not touch, so the end-to-end ratio is the Amdahl-limited version
+  of the replay ratio.
+
+Run with ``python -m repro.bench backends``; ``--out`` writes the
+report under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.pipeline import run_analysis
+from repro.bench.reporting import format_seconds, render_table
+from repro.ir.program import Program
+from repro.pta.bitset import BACKEND_BITSET, BACKEND_SET, popcount
+from repro.pta.context import selector_for
+from repro.pta.solver import Solver
+from repro.workloads import load_profile
+
+__all__ = [
+    "ReplayMeasurement",
+    "FullSolveMeasurement",
+    "BackendsResult",
+    "replay_propagation",
+    "run_backends",
+    "main",
+]
+
+DEFAULT_PROFILE = "eclipse"
+DEFAULT_REPLAY_CONFIGS = ("ci", "2obj")
+DEFAULT_SOLVE_CONFIGS = ("ci", "2cs", "2obj", "2type")
+DEFAULT_REPEATS = 5
+DEFAULT_BUDGET_SECONDS = 60.0
+
+
+# ----------------------------------------------------------------------
+# Propagation-replay kernels
+# ----------------------------------------------------------------------
+def _replay_bits(n: int, succs, seeds: Dict[int, Set[int]],
+                 mask_for) -> Tuple[List[int], int]:
+    """Worklist fixpoint over the frozen graph, bitset representation.
+
+    Returns ``(final pts, iterations)``; the caller tallies facts from
+    the final state outside the timed window — counting is not
+    representation work.
+    """
+    pts = [0] * n
+    worklist = deque(
+        (node, sum(1 << obj for obj in objs)) for node, objs in seeds.items()
+    )
+    pop = worklist.popleft
+    append = worklist.append
+    iterations = 0
+    while worklist:
+        iterations += 1
+        node, delta = pop()
+        known = pts[node]
+        common = delta & known
+        if common:
+            delta ^= common
+            if not delta:
+                continue
+        pts[node] = known | delta
+        for succ, filter_class in succs[node]:
+            if filter_class is None:
+                append((succ, delta))
+            else:
+                filtered = delta & mask_for(filter_class)
+                if filtered:
+                    append((succ, filtered))
+    return pts, iterations
+
+
+def _replay_sets(n: int, succs, seeds: Dict[int, Set[int]],
+                 object_class: List[str],
+                 is_subtype) -> Tuple[List[Set[int]], int]:
+    """Worklist fixpoint over the frozen graph, set representation."""
+    pts: List[Set[int]] = [set() for _ in range(n)]
+    worklist = deque((node, set(objs)) for node, objs in seeds.items())
+    pop = worklist.popleft
+    append = worklist.append
+    iterations = 0
+    while worklist:
+        iterations += 1
+        node, delta = pop()
+        known = pts[node]
+        delta = delta - known
+        if not delta:
+            continue
+        known |= delta
+        for succ, filter_class in succs[node]:
+            if filter_class is None:
+                append((succ, delta))
+            else:
+                filtered = {
+                    obj for obj in delta
+                    if is_subtype(object_class[obj], filter_class)
+                }
+                if filtered:
+                    append((succ, filtered))
+    return pts, iterations
+
+
+@dataclass
+class ReplayMeasurement:
+    """One propagation-replay A/B data point."""
+
+    config: str
+    nodes: int
+    edges: int
+    seeds: int
+    facts: int
+    set_seconds: float
+    bitset_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.bitset_seconds <= 0:
+            return float("inf")
+        return self.set_seconds / self.bitset_seconds
+
+
+def replay_propagation(program: Program, config: str = "ci",
+                       repeats: int = DEFAULT_REPEATS) -> ReplayMeasurement:
+    """Measure both replay kernels on ``config``'s frozen graph.
+
+    Raises ``AssertionError`` if either kernel fails to reproduce the
+    original solve's final facts — the timings are only comparable when
+    the logical work is identical.
+    """
+    solver = Solver(program, selector_for(config), pts_backend=BACKEND_BITSET)
+    solver.solve()
+    seeds = solver.propagation_seeds()
+    succs = solver._succs
+    n = len(succs)
+    expected_facts = sum(
+        solver.node_pts_count(node) for node in range(n)
+    )
+    mask_for = solver._filter_masks.mask_for
+    object_class = solver._object_class
+    is_subtype = solver._is_subtype_name
+
+    def best_of(kernel, tally) -> Tuple[float, int]:
+        best = float("inf")
+        facts = 0
+        for _ in range(max(1, repeats)):
+            t0 = time.monotonic()
+            final, _ = kernel()
+            best = min(best, time.monotonic() - t0)
+            facts = tally(final)
+        return best, facts
+
+    set_seconds, set_facts = best_of(
+        lambda: _replay_sets(n, succs, seeds, object_class, is_subtype),
+        lambda final: sum(len(p) for p in final),
+    )
+    bit_seconds, bit_facts = best_of(
+        lambda: _replay_bits(n, succs, seeds, mask_for),
+        lambda final: sum(popcount(p) for p in final),
+    )
+    if not (set_facts == bit_facts == expected_facts):
+        raise AssertionError(
+            f"replay diverged on {config}: set={set_facts} "
+            f"bitset={bit_facts} expected={expected_facts}"
+        )
+    return ReplayMeasurement(
+        config=config,
+        nodes=n,
+        edges=sum(len(out) for out in succs),
+        seeds=len(seeds),
+        facts=expected_facts,
+        set_seconds=set_seconds,
+        bitset_seconds=bit_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Full-solve A/B
+# ----------------------------------------------------------------------
+@dataclass
+class FullSolveMeasurement:
+    """End-to-end solve wall-clock under both backends."""
+
+    config: str
+    set_seconds: Optional[float]
+    bitset_seconds: Optional[float]
+    timed_out: bool = False
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.timed_out or not self.bitset_seconds:
+            return None
+        return self.set_seconds / self.bitset_seconds
+
+
+def _solve_seconds(program: Program, config: str, backend: str,
+                   budget: float, repeats: int) -> Optional[float]:
+    best: Optional[float] = None
+    for _ in range(max(1, repeats)):
+        run = run_analysis(program, config, timeout_seconds=budget,
+                           pts_backend=backend)
+        if run.timed_out:
+            return None
+        seconds = run.main_seconds
+        if best is None or seconds < best:
+            best = seconds
+    return best
+
+
+def full_solve_ab(program: Program, config: str,
+                  budget: float = DEFAULT_BUDGET_SECONDS,
+                  repeats: int = 3) -> FullSolveMeasurement:
+    set_seconds = _solve_seconds(program, config, BACKEND_SET, budget, repeats)
+    bit_seconds = _solve_seconds(program, config, BACKEND_BITSET, budget,
+                                 repeats)
+    return FullSolveMeasurement(
+        config=config,
+        set_seconds=set_seconds,
+        bitset_seconds=bit_seconds,
+        timed_out=set_seconds is None or bit_seconds is None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+@dataclass
+class BackendsResult:
+    profile: str
+    scale: float
+    budget: float
+    replays: List[ReplayMeasurement] = field(default_factory=list)
+    solves: List[FullSolveMeasurement] = field(default_factory=list)
+
+    @property
+    def headline_speedup(self) -> float:
+        """The acceptance number: best replay speedup on this workload."""
+        return max((m.speedup for m in self.replays), default=0.0)
+
+    def render(self) -> str:
+        parts: List[str] = []
+        replay_rows = [
+            (m.config, m.nodes, m.edges, m.seeds, m.facts,
+             format_seconds(m.set_seconds), format_seconds(m.bitset_seconds),
+             f"{m.speedup:.2f}x")
+            for m in self.replays
+        ]
+        parts.append(render_table(
+            ("config", "nodes", "edges", "seeds", "facts", "set", "bitset",
+             "speedup"),
+            replay_rows,
+            title=(f"Propagation replay on {self.profile} "
+                   f"(scale {self.scale:g}; frozen constraint graph, "
+                   f"identical work per backend)"),
+        ))
+        if self.solves:
+            solve_rows = [
+                (m.config,
+                 format_seconds(m.set_seconds, m.set_seconds is None,
+                                self.budget),
+                 format_seconds(m.bitset_seconds, m.bitset_seconds is None,
+                                self.budget),
+                 "-" if m.speedup is None else f"{m.speedup:.2f}x")
+                for m in self.solves
+            ]
+            parts.append("")
+            parts.append(render_table(
+                ("config", "set", "bitset", "speedup"),
+                solve_rows,
+                title=(f"Full solve on {self.profile} (scale {self.scale:g}; "
+                       f"includes Amdahl-bound call-graph/context work)"),
+            ))
+        parts.append("")
+        parts.append(
+            f"headline: bitset is {self.headline_speedup:.2f}x the set "
+            f"backend on {self.profile} propagation"
+        )
+        return "\n".join(parts)
+
+
+def run_backends(profile: str = DEFAULT_PROFILE, scale: float = 1.0,
+                 replay_configs: Sequence[str] = DEFAULT_REPLAY_CONFIGS,
+                 solve_configs: Sequence[str] = DEFAULT_SOLVE_CONFIGS,
+                 repeats: int = DEFAULT_REPEATS,
+                 budget: float = DEFAULT_BUDGET_SECONDS,
+                 skip_solves: bool = False) -> BackendsResult:
+    program = load_profile(profile, scale)
+    result = BackendsResult(profile=profile, scale=scale, budget=budget)
+    for config in replay_configs:
+        result.replays.append(replay_propagation(program, config, repeats))
+    if not skip_solves:
+        for config in solve_configs:
+            result.solves.append(
+                full_solve_ab(program, config, budget, max(1, repeats // 2))
+            )
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", type=str, default=DEFAULT_PROFILE)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET_SECONDS)
+    parser.add_argument("--replay-configs", type=str,
+                        default=",".join(DEFAULT_REPLAY_CONFIGS))
+    parser.add_argument("--solve-configs", type=str,
+                        default=",".join(DEFAULT_SOLVE_CONFIGS))
+    parser.add_argument("--skip-solves", action="store_true",
+                        help="replay micro-benchmark only")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+    result = run_backends(
+        profile=args.profile,
+        scale=args.scale,
+        replay_configs=[c for c in args.replay_configs.split(",") if c],
+        solve_configs=[c for c in args.solve_configs.split(",") if c],
+        repeats=args.repeats,
+        budget=args.budget,
+        skip_solves=args.skip_solves,
+    )
+    report = result.render()
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

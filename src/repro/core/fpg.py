@@ -70,6 +70,20 @@ class FieldPointsToGraph:
             raise KeyError(f"unknown target object {target}")
         self._succ[source].setdefault(field, set()).add(target)
 
+    def add_targets(self, source: int, field: str,
+                    targets: Iterable[int]) -> None:
+        """Bulk form of :meth:`add_edge`: one field-bucket lookup for a
+        whole pointee group (how :func:`build_fpg` consumes the solver's
+        grouped field facts)."""
+        if source not in self._type_of:
+            raise KeyError(f"unknown source object {source}")
+        type_of = self._type_of
+        bucket = self._succ[source].setdefault(field, set())
+        for target in targets:
+            if target not in type_of:
+                raise KeyError(f"unknown target object {target}")
+            bucket.add(target)
+
     def add_null_field(self, source: int, field: str) -> None:
         """Record that ``source.field`` holds only ``null``."""
         self.add_edge(source, field, NULL_OBJECT)
@@ -171,8 +185,10 @@ def build_fpg(pre_result: PointsToResult) -> FieldPointsToGraph:
         site_of[obj] = site
         fpg.add_object(site, pre_result.object_class(obj))
 
-    for base_obj, field, pointee_obj in pre_result.field_points_to():
-        fpg.add_edge(site_of[base_obj], field, site_of[pointee_obj])
+    for base_obj, field, pointees in pre_result.field_points_to_grouped():
+        fpg.add_targets(
+            site_of[base_obj], field, (site_of[p] for p in pointees)
+        )
 
     # Null fields: every *declared* field (inherited included) of every
     # object that the pre-analysis found nothing stored into.

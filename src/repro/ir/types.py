@@ -93,6 +93,9 @@ class TypeHierarchy:
         self._children: Dict[str, List[str]] = {}
         # depth of each class in the inheritance tree; Object has depth 0.
         self._depth: Dict[str, int] = {}
+        # (sub_name, sup_name) -> bool memo shared by every solver,
+        # client, and filter mask built over this hierarchy.
+        self._subtype_name_cache: Dict[tuple, bool] = {}
         root = ClassType(OBJECT_CLASS_NAME, None)
         self._classes[root.name] = root
         self._children[root.name] = []
@@ -131,6 +134,11 @@ class TypeHierarchy:
         self._children[name] = []
         self._children[superclass_name].append(name)
         self._depth[name] = self._depth[superclass_name] + 1
+        # Appends cannot change the relation between existing classes,
+        # but a cached negative for a then-unknown name could now be
+        # stale, so drop the memo (construction precedes queries).
+        if self._subtype_name_cache:
+            self._subtype_name_cache.clear()
         return cls
 
     # ------------------------------------------------------------------
@@ -186,6 +194,27 @@ class TypeHierarchy:
             assert current.superclass_name is not None
             current = self._classes[current.superclass_name]
         return current.name == sup.name
+
+    def is_subtype_names(self, sub: str, sup: str) -> bool:
+        """Memoized name-level subtype test: ``sub <: sup`` with both
+        required to be declared (an undeclared name is a subtype of
+        nothing — the solver's cast-filter convention).
+
+        One table per hierarchy, so the pre-analysis, the main
+        analysis, the may-fail-cast client, and the filter masks all
+        share the same memo instead of each re-walking the chain.
+        """
+        key = (sub, sup)
+        cached = self._subtype_name_cache.get(key)
+        if cached is None:
+            classes = self._classes
+            cached = (
+                sub in classes
+                and sup in classes
+                and self.is_subtype(classes[sub], classes[sup])
+            )
+            self._subtype_name_cache[key] = cached
+        return cached
 
     def subtypes(self, cls: ClassType) -> List[ClassType]:
         """All reflexive-transitive subtypes of ``cls`` (preorder)."""

@@ -1,0 +1,215 @@
+"""Bitset machinery for points-to sets and class-hierarchy filter masks.
+
+Abstract objects are interned to dense integer ids by the solver, so a
+points-to set is representable as an arbitrary-precision Python ``int``
+used as a bit-vector: bit ``i`` set ⇔ object ``i`` is in the set.  This
+turns the solver's inner operations into single big-int instructions:
+
+=====================  =============================
+set union              ``a | b``
+set difference         ``a & ~b``
+membership             ``(a >> i) & 1``
+emptiness              ``not a``
+cardinality            ``popcount(a)``
+cast filter            ``delta & mask(T)``
+=====================  =============================
+
+The cast-filter mask follows Toussi & Khademzadeh's class-hierarchy
+bit-vector idea (PAPERS.md): for a filter class ``T``, ``mask(T)`` has
+bit ``i`` set exactly when object ``i``'s class is a subtype of ``T``.
+Objects are interned *during* the solve, so :class:`ClassFilterMasks`
+builds each mask lazily and extends it with a per-mask watermark the
+next time it is fetched — a mask is always complete with respect to
+the objects interned so far when the caller receives it.
+
+This module also owns the backend registry: the solver supports the
+bitset representation (default) and the legacy ``set[int]``
+representation side by side for A/B validation
+(``tests/test_backend_differential.py``, ``repro.bench.backends``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Iterator, List
+
+__all__ = [
+    "BACKEND_BITSET",
+    "BACKEND_SET",
+    "BACKEND_NAMES",
+    "default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "popcount",
+    "iter_bits",
+    "bits_to_list",
+    "bits_from_ids",
+    "ClassFilterMasks",
+]
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+BACKEND_BITSET = "bitset"
+BACKEND_SET = "set"
+BACKEND_NAMES = (BACKEND_BITSET, BACKEND_SET)
+
+#: Environment override consulted by :func:`resolve_backend` — lets CI
+#: and the A/B harness flip the whole suite without touching call sites.
+BACKEND_ENV_VAR = "REPRO_PTS_BACKEND"
+
+_default_backend = BACKEND_BITSET
+
+
+def default_backend() -> str:
+    """The process-wide default points-to-set backend."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous one."""
+    global _default_backend
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown points-to backend {name!r}; known: {', '.join(BACKEND_NAMES)}"
+        )
+    previous = _default_backend
+    _default_backend = name
+    return previous
+
+
+def resolve_backend(name=None) -> str:
+    """Resolve an optional backend name to a concrete one.
+
+    Resolution order: explicit ``name`` → ``$REPRO_PTS_BACKEND`` →
+    the process default (``bitset``).  Unknown names raise eagerly so a
+    configuration typo fails before a long solve.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or _default_backend
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown points-to backend {name!r}; known: {', '.join(BACKEND_NAMES)}"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+# Bit-vector primitives
+# ----------------------------------------------------------------------
+if hasattr(int, "bit_count"):  # Python >= 3.10
+    def popcount(bits: int) -> int:
+        """Number of set bits (|S| of the encoded set)."""
+        return bits.bit_count()
+else:  # pragma: no cover - exercised only on 3.9
+    def popcount(bits: int) -> int:
+        """Number of set bits (|S| of the encoded set)."""
+        return bin(bits).count("1")
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``bits`` in ascending order."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+#: bit offsets set in each byte value — decode lookup table.
+_BYTE_BITS = tuple(
+    tuple(i for i in range(8) if byte >> i & 1) for byte in range(256)
+)
+
+
+def bits_to_list(bits: int) -> List[int]:
+    """The set-bit positions of ``bits`` as an ascending list.
+
+    Adaptive: very sparse vectors decode with the isolate-lowest-bit
+    trick (O(k) big-int ops); denser ones serialize once with
+    ``to_bytes`` and scan bytes through a lookup table, which avoids
+    the O(k·width) cost of repeatedly reallocating a wide int.
+    """
+    out: List[int] = []
+    if not bits:
+        return out
+    append = out.append
+    if popcount(bits) <= 16:
+        while bits:
+            low = bits & -bits
+            append(low.bit_length() - 1)
+            bits ^= low
+        return out
+    data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+    table = _BYTE_BITS
+    for index, byte in enumerate(data):
+        if byte:
+            base = index << 3
+            for offset in table[byte]:
+                append(base + offset)
+    return out
+
+
+def bits_from_ids(ids: Iterable[int]) -> int:
+    """Encode an iterable of object ids as a bit-vector."""
+    bits = 0
+    for obj in ids:
+        bits |= 1 << obj
+    return bits
+
+
+# ----------------------------------------------------------------------
+# Class-hierarchy filter masks
+# ----------------------------------------------------------------------
+class ClassFilterMasks:
+    """Per-filter-class subtype bitmasks over interned object ids.
+
+    ``mask_for("T")`` returns an int whose bit ``i`` is set exactly when
+    ``class_of(i) <: T``.  Masks are built on first use and extended by
+    watermark whenever new objects were interned since the last fetch,
+    so the subtype test runs **once per (object, filter class) pair**
+    over the whole solve — and the test itself is memoized per
+    ``(class, filter class)`` pair by the caller-supplied predicate.
+
+    The instance observes the solver's append-only ``object_classes``
+    list; it never copies it.
+    """
+
+    __slots__ = ("_object_classes", "_is_subtype", "_masks", "_upto",
+                 "extensions")
+
+    def __init__(self, object_classes: List[str],
+                 is_subtype: Callable[[str, str], bool]) -> None:
+        self._object_classes = object_classes
+        self._is_subtype = is_subtype
+        self._masks: Dict[str, int] = {}
+        self._upto: Dict[str, int] = {}
+        #: How many watermark extensions ran (cache-behaviour statistic).
+        self.extensions = 0
+
+    def mask_for(self, filter_class: str) -> int:
+        """The (complete, as of now) subtype mask for ``filter_class``."""
+        masks = self._masks
+        mask = masks.get(filter_class, 0)
+        upto = self._upto.get(filter_class, 0)
+        classes = self._object_classes
+        n = len(classes)
+        if upto < n:
+            is_subtype = self._is_subtype
+            for obj in range(upto, n):
+                if is_subtype(classes[obj], filter_class):
+                    mask |= 1 << obj
+            masks[filter_class] = mask
+            self._upto[filter_class] = n
+            self.extensions += 1
+        return mask
+
+    def __len__(self) -> int:
+        """Number of distinct filter classes with a materialized mask."""
+        return len(self._masks)
+
+    def stats(self) -> Dict[str, int]:
+        """Mask-cache statistics for the perf recorder."""
+        return {
+            "masks": len(self._masks),
+            "mask_extensions": self.extensions,
+            "mask_bits": sum(popcount(m) for m in self._masks.values()),
+        }

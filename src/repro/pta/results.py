@@ -9,13 +9,21 @@ the views the rest of the system needs:
 * the (context-projected) call graph, virtual-call-site target sets, and
   cast records, consumed by the type-dependent clients;
 * summary statistics for the benchmark harness.
+
+The solver stores points-to sets in a pluggable representation
+(bit-vector ints by default, legacy ``set[int]`` for A/B runs — see
+:mod:`repro.pta.bitset`); every accessor here materializes through the
+solver's representation-agnostic ``node_pts_*`` methods, so clients are
+oblivious to the backend.  Unions over many nodes are taken in the
+bit-vector domain (``|`` on ints) and decoded once at the end.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.ir.program import Program
+from repro.pta.bitset import bits_to_list
 from repro.pta.context import Context
 from repro.pta.solver import ObjectDescriptor, Solver
 
@@ -30,6 +38,7 @@ class PointsToResult:
         self.program: Program = solver.program
         self.selector_name: str = solver.selector.name
         self.heap_model_name: str = solver.heap_model.name
+        self.pts_backend: str = solver.pts_backend
         self.solve_seconds: float = solver.solve_seconds
         self.iterations: int = solver.iterations
 
@@ -79,14 +88,14 @@ class PointsToResult:
                           context: Optional[Context] = None) -> Set[int]:
         """Like :meth:`var_points_to` but returns interned object ids."""
         s = self._solver
-        result: Set[int] = set()
+        bits = 0
         for node, (ctx, method, name) in s._var_meta.items():
             if name != var or method.qualified_name != method_qualified_name:
                 continue
             if context is not None and ctx != context:
                 continue
-            result |= s._pts[node]
-        return result
+            bits |= s.node_pts_bits(node)
+        return set(bits_to_list(bits))
 
     def exception_points_to(self, method_qualified_name: str,
                             context: Optional[Context] = None) -> Set[int]:
@@ -94,14 +103,14 @@ class PointsToResult:
         plus everything propagating out of its callees), as interned
         object ids; union over contexts unless one is given."""
         s = self._solver
-        result: Set[int] = set()
+        bits = 0
         for node, (ctx, method) in s._exc_meta.items():
             if method.qualified_name != method_qualified_name:
                 continue
             if context is not None and ctx != context:
                 continue
-            result |= s._pts[node]
-        return result
+            bits |= s.node_pts_bits(node)
+        return set(bits_to_list(bits))
 
     def contexts_of_method(self, method_qualified_name: str) -> Set[Context]:
         s = self._solver
@@ -118,14 +127,22 @@ class PointsToResult:
     # ------------------------------------------------------------------
     # Field points-to (FPG input)
     # ------------------------------------------------------------------
-    def field_points_to(self) -> Iterator[Tuple[int, str, int]]:
-        """Yield ``(base_obj, field, pointee_obj)`` facts."""
+    def field_points_to_grouped(self) -> Iterator[Tuple[int, str, List[int]]]:
+        """Yield ``(base_obj, field, pointee ids)`` one *field node* at a
+        time — the compact form the FPG builder consumes (one bulk
+        insert per field node instead of one call per fact)."""
         s = self._solver
         for key, node in s._node_ids.items():
             if isinstance(key, tuple) and key and key[0] == 1:
-                _, base_obj, field = key
-                for pointee in s._pts[node]:
-                    yield base_obj, field, pointee
+                pointees = s.node_pts_ids(node)
+                if pointees:
+                    yield key[1], key[2], pointees
+
+    def field_points_to(self) -> Iterator[Tuple[int, str, int]]:
+        """Yield ``(base_obj, field, pointee_obj)`` facts."""
+        for base_obj, field, pointees in self.field_points_to_grouped():
+            for pointee in pointees:
+                yield base_obj, field, pointee
 
     def fields_written(self, obj: int) -> Set[str]:
         """Field names for which ``obj`` has a field node."""
@@ -167,17 +184,16 @@ class PointsToResult:
     def cast_records(self) -> Iterable[Tuple[int, str, Set[int]]]:
         """Yield ``(cast_site, target_class, incoming objects)`` for every
         reachable cast; the same cast site may appear once per context
-        (already unioned here)."""
+        (already unioned here, in the bit-vector domain)."""
         s = self._solver
-        merged: Dict[Tuple[int, str], Set[int]] = {}
+        merged: Dict[Tuple[int, str], int] = {}
         for cast_site, class_name, src_node in s._cast_records:
-            merged.setdefault((cast_site, class_name), set()).update(
-                s._pts[src_node]
-            )
-        for (cast_site, class_name), objs in sorted(
+            key = (cast_site, class_name)
+            merged[key] = merged.get(key, 0) | s.node_pts_bits(src_node)
+        for (cast_site, class_name), bits in sorted(
             merged.items(), key=lambda item: item[0]
         ):
-            yield cast_site, class_name, objs
+            yield cast_site, class_name, set(bits_to_list(bits))
 
     def is_subtype(self, sub_class: str, sup_class: str) -> bool:
         return self._solver._is_subtype_name(sub_class, sup_class)
@@ -190,6 +206,7 @@ class PointsToResult:
         return {
             "selector": self.selector_name,
             "heap_model": self.heap_model_name,
+            "pts_backend": self.pts_backend,
             "solve_seconds": round(self.solve_seconds, 4),
             "iterations": self.iterations,
             "abstract_objects": self.object_count,
@@ -198,6 +215,6 @@ class PointsToResult:
             "method_contexts": self.total_context_count(),
             "call_graph_edges": len(s._cg_edges_proj),
             "cs_call_graph_edges": len(s._cg_edges_ctx),
-            "pts_facts": sum(len(p) for p in s._pts),
+            "pts_facts": sum(s.node_pts_count(n) for n in range(len(s._pts))),
             **{f"count_{k}": v for k, v in s.counters.items()},
         }

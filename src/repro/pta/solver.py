@@ -17,9 +17,20 @@ Design:
   pluggable :class:`~repro.pta.heapmodel.HeapModel` — the only place the
   allocation-site / allocation-type / MAHJONG abstractions differ.
 
+* **Points-to sets** are stored through a pluggable backend
+  (:mod:`repro.pta.bitset`).  The default ``bitset`` backend encodes a
+  set of object ids as one arbitrary-precision int, so propagation is
+  difference propagation in the literal sense: the surviving delta is
+  ``delta & ~known``, union is ``|``, and pushing a whole set across a
+  new edge is pushing an immutable int (no copy).  The legacy ``set``
+  backend keeps ``set[int]`` semantics for A/B validation.
+
 * **Pointer-flow edges** carry an optional cast filter: ``x = (T) y``
   propagates only objects whose class is a subtype of ``T`` (Doop-style
-  cast filtering), which the may-fail-cast client piggybacks on.
+  cast filtering), which the may-fail-cast client piggybacks on.  Under
+  the bitset backend the filter is a single AND against a lazily built
+  class-hierarchy mask (:class:`~repro.pta.bitset.ClassFilterMasks`);
+  under the set backend it is a per-object memoized subtype test.
 
 * **Context sensitivity** is a pluggable
   :class:`~repro.pta.context.ContextSelector`; merged objects (MAHJONG,
@@ -35,7 +46,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.ir.program import Method, Program
 from repro.ir.statements import (
@@ -52,6 +63,14 @@ from repro.ir.statements import (
     Store,
     Throw,
 )
+from repro.perf import PerfRecorder
+from repro.pta.bitset import (
+    BACKEND_BITSET,
+    ClassFilterMasks,
+    bits_to_list,
+    popcount,
+    resolve_backend,
+)
 from repro.pta.context import (
     Context,
     ContextInsensitive,
@@ -63,6 +82,11 @@ from repro.pta.context import (
 from repro.pta.heapmodel import AllocationSiteAbstraction, HeapModel
 
 __all__ = ["Solver", "AnalysisTimeout", "solve", "ObjectDescriptor"]
+
+#: Worklist pops between wall-clock checks.  ``time.monotonic()`` per
+#: pop is measurable overhead in the hot loop; a power-of-two stride
+#: makes the gate a single AND.
+TIMEOUT_CHECK_STRIDE = 1024
 
 
 class AnalysisTimeout(Exception):
@@ -147,6 +171,12 @@ class Solver:
 
     Construct, call :meth:`solve`, inspect the returned
     :class:`~repro.pta.results.PointsToResult`.
+
+    ``pts_backend`` selects the points-to-set representation
+    (``"bitset"`` — the default — or the legacy ``"set"``; ``None``
+    resolves through :func:`repro.pta.bitset.resolve_backend`).
+    ``perf`` optionally receives counters/timers/gauges
+    (:class:`repro.perf.PerfRecorder`).
     """
 
     def __init__(
@@ -155,6 +185,8 @@ class Solver:
         selector: Optional[ContextSelector] = None,
         heap_model: Optional[HeapModel] = None,
         timeout_seconds: Optional[float] = None,
+        pts_backend: Optional[str] = None,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         if program.entry is None:
             raise ValueError("program has no entry method")
@@ -162,13 +194,17 @@ class Solver:
         self.selector = selector if selector is not None else ContextInsensitive()
         self.heap_model = heap_model if heap_model is not None else AllocationSiteAbstraction()
         self.timeout_seconds = timeout_seconds
+        self.pts_backend = resolve_backend(pts_backend)
+        self._use_bits = self.pts_backend == BACKEND_BITSET
+        self.perf = perf
         self._type_elements = wants_type_elements(self.selector)
         self._ci = isinstance(self.selector, ContextInsensitive)
         hierarchy = program.hierarchy
-
-        # Subtype cache for cast filtering: (sub_name, sup_name) -> bool
-        self._subtype_cache: Dict[Tuple[str, str], bool] = {}
         self._hierarchy = hierarchy
+
+        # Name-level subtype test, memoized once per hierarchy (shared
+        # with the other solve phases and the may-fail-cast client).
+        self._is_subtype_name = hierarchy.is_subtype_names
 
         # --- interning tables ------------------------------------------
         # objects: (site_key, heap_ctx) -> id
@@ -179,13 +215,22 @@ class Solver:
         self._object_ctx_elem: List[object] = []
         self._object_alloc_sites: List[Set[int]] = []  # provenance
 
-        # nodes: key -> id ; pts / succs indexed by id
+        # Cast-filter masks over object ids (bitset backend only).
+        self._filter_masks = ClassFilterMasks(
+            self._object_class, self._is_subtype_name
+        )
+
+        # nodes: key -> id ; pts / succs indexed by id.  ``_pts[i]`` is
+        # an int bit-vector (bitset backend) or a set[int] (set backend).
         self._node_ids: Dict[object, int] = {}
-        self._pts: List[Set[int]] = []
+        self._pts: List = []
         self._succs: List[List[Tuple[int, Optional[str]]]] = []
         self._edge_seen: List[Set[Tuple[int, Optional[str]]]] = []
         # var-node metadata for statement processing: id -> (ctx, method)
         self._var_meta: Dict[int, Tuple[Context, Method, str]] = {}
+        # same metadata as a node-indexed array (hot-loop form; the
+        # dict stays the source of truth for results materialization)
+        self._meta_by_node: List[Optional[Tuple[Context, Method, str]]] = []
         # exception-node metadata: node id -> (ctx, method)
         self._exc_meta: Dict[int, Tuple[Context, Method]] = {}
 
@@ -229,38 +274,197 @@ class Solver:
         if self.timeout_seconds is not None:
             deadline = start + self.timeout_seconds
         self._add_reachable(EMPTY_CONTEXT, self.program.entry)
-        pop = self._worklist.popleft
+        try:
+            if self._use_bits:
+                self._run_bits(deadline)
+            else:
+                self._run_sets(deadline)
+        finally:
+            self.solve_seconds = time.monotonic() - start
+            self._record_perf()
+        return PointsToResult(self)
+
+    def _run_bits(self, deadline: Optional[float]) -> None:
+        """Fixpoint loop, bitset backend: sets are ints, the surviving
+        delta is ``delta & ~known``, filters are mask ANDs."""
         worklist = self._worklist
+        pop = worklist.popleft
+        append = worklist.append
         pts = self._pts
         succs = self._succs
-        while worklist:
-            self.iterations += 1
-            if deadline is not None and self.iterations % 256 == 0:
-                if time.monotonic() > deadline:
-                    self.solve_seconds = time.monotonic() - start
-                    raise AnalysisTimeout(self.timeout_seconds, self.iterations)
-            node, delta = pop()
-            known = pts[node]
-            delta = delta - known
-            if not delta:
-                continue
-            known |= delta
-            self.counters["facts_propagated"] += len(delta)
-            for succ, filter_class in succs[node]:
-                if filter_class is None:
-                    worklist.append((succ, delta))
-                else:
-                    filtered = {
-                        o for o in delta
-                        if self._is_subtype_name(self._object_class[o], filter_class)
-                    }
-                    if filtered:
-                        worklist.append((succ, filtered))
-            meta = self._var_meta.get(node)
-            if meta is not None:
-                self._process_var_delta(meta, delta)
-        self.solve_seconds = time.monotonic() - start
-        return PointsToResult(self)
+        meta_by_node = self._meta_by_node
+        mask_for = self._filter_masks.mask_for
+        iterations = self.iterations
+        facts = 0
+        # An already-expired budget must raise even if the solve would
+        # finish within one stride of the periodic check below.
+        if deadline is not None and time.monotonic() > deadline:
+            raise AnalysisTimeout(self.timeout_seconds, iterations)
+        try:
+            while worklist:
+                iterations += 1
+                if not iterations & (TIMEOUT_CHECK_STRIDE - 1):
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise AnalysisTimeout(self.timeout_seconds, iterations)
+                node, delta = pop()
+                known = pts[node]
+                # delta & ~known, without materializing the full-width
+                # complement: XOR out the already-known bits.
+                common = delta & known
+                if common:
+                    delta ^= common
+                    if not delta:
+                        continue
+                pts[node] = known | delta
+                facts += popcount(delta)
+                for succ, filter_class in succs[node]:
+                    if filter_class is None:
+                        append((succ, delta))
+                    else:
+                        filtered = delta & mask_for(filter_class)
+                        if filtered:
+                            append((succ, filtered))
+                meta = meta_by_node[node]
+                if meta is not None:
+                    self._process_var_delta(meta, delta)
+        finally:
+            self.iterations = iterations
+            self.counters["facts_propagated"] += facts
+
+    def _run_sets(self, deadline: Optional[float]) -> None:
+        """Fixpoint loop, legacy ``set[int]`` backend (A/B baseline)."""
+        worklist = self._worklist
+        pop = worklist.popleft
+        append = worklist.append
+        pts = self._pts
+        succs = self._succs
+        meta_by_node = self._meta_by_node
+        is_subtype = self._is_subtype_name
+        object_class = self._object_class
+        iterations = self.iterations
+        facts = 0
+        if deadline is not None and time.monotonic() > deadline:
+            raise AnalysisTimeout(self.timeout_seconds, iterations)
+        try:
+            while worklist:
+                iterations += 1
+                if not iterations & (TIMEOUT_CHECK_STRIDE - 1):
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise AnalysisTimeout(self.timeout_seconds, iterations)
+                node, delta = pop()
+                known = pts[node]
+                delta = delta - known
+                if not delta:
+                    continue
+                known |= delta
+                facts += len(delta)
+                for succ, filter_class in succs[node]:
+                    if filter_class is None:
+                        append((succ, delta))
+                    else:
+                        filtered = {
+                            o for o in delta
+                            if is_subtype(object_class[o], filter_class)
+                        }
+                        if filtered:
+                            append((succ, filtered))
+                meta = meta_by_node[node]
+                if meta is not None:
+                    self._process_var_delta(meta, delta)
+        finally:
+            self.iterations = iterations
+            self.counters["facts_propagated"] += facts
+
+    def _record_perf(self) -> None:
+        perf = self.perf
+        if perf is None:
+            return
+        perf.add_time("pta.solve", self.solve_seconds)
+        perf.incr("pta.iterations", self.iterations)
+        for name, value in self.counters.items():
+            perf.incr(f"pta.{name}", value)
+        perf.gauge_max("pta.nodes", len(self._pts))
+        perf.gauge_max("pta.objects", len(self._object_class))
+        if self._pts:
+            count = popcount if self._use_bits else len
+            perf.gauge_max("pta.pts_size", max(count(p) for p in self._pts))
+        for name, value in self._filter_masks.stats().items():
+            perf.incr(f"pta.{name}", value)
+
+    # ------------------------------------------------------------------
+    # Points-to accessors (representation-agnostic; used by results)
+    # ------------------------------------------------------------------
+    def node_pts_bits(self, node: int) -> int:
+        """The node's points-to set as a bit-vector (any backend)."""
+        pts = self._pts[node]
+        if self._use_bits:
+            return pts
+        bits = 0
+        for obj in pts:
+            bits |= 1 << obj
+        return bits
+
+    def node_pts_ids(self, node: int) -> List[int]:
+        """The node's points-to set as a list of object ids."""
+        pts = self._pts[node]
+        if self._use_bits:
+            return bits_to_list(pts)
+        return sorted(pts)
+
+    def node_pts_count(self, node: int) -> int:
+        pts = self._pts[node]
+        return popcount(pts) if self._use_bits else len(pts)
+
+    def _delta_ids(self, delta) -> Iterable[int]:
+        """Decode a backend-native delta into iterable object ids."""
+        if self._use_bits:
+            return bits_to_list(delta)
+        return delta
+
+    def propagation_seeds(self) -> Dict[int, Set[int]]:
+        """Seed facts that regenerate this solve's final points-to sets.
+
+        Only callable on a *solved* instance.  The returned map contains,
+        per node, the object ids injected into that node by non-edge
+        means: allocation statements (``x = new T``) and receiver-object
+        injection at virtual dispatches (``this``).  Every other fact in
+        the final solution is derivable from these by closing over the
+        discovered pointer-flow edges (:attr:`_succs`), so replaying pure
+        worklist propagation from these seeds over the frozen constraint
+        graph reproduces the final solution exactly.  This isolates the
+        *representation* cost (set ops, filters, difference propagation)
+        from call-graph discovery — the basis of the A/B micro-benchmark
+        in :mod:`repro.bench.backends`.
+        """
+        seeds: Dict[int, Set[int]] = {}
+        node_ids = self._node_ids
+        object_ids = self._object_ids
+        heap_model = self.heap_model
+        for mkey, contexts in self._reachable.items():
+            method = self._method_by_id[mkey]
+            info = self._method_info[mkey]
+            for ctx in contexts:
+                for stmt in info.allocs:
+                    node = node_ids.get((0, ctx, id(method), stmt.target))
+                    if node is None:
+                        continue
+                    key = heap_model.site_key(stmt.site, stmt.class_name)
+                    if self._ci or heap_model.is_merged(stmt.site, stmt.class_name):
+                        hctx: Context = EMPTY_CONTEXT
+                    else:
+                        hctx = self.selector.select_heap(ctx, stmt.site)
+                    obj = object_ids.get((key, hctx))
+                    if obj is not None:
+                        seeds.setdefault(node, set()).add(obj)
+        # `this` facts are injected by dispatch, not derived over edges;
+        # seeding the final `this` sets closes the loop (final state is a
+        # fixpoint, so the replay converges to exactly it).
+        for node, (ctx, method, var) in self._var_meta.items():
+            if var == "this":
+                ids = self.node_pts_ids(node)
+                if ids:
+                    seeds.setdefault(node, set()).update(ids)
+        return seeds
 
     # ------------------------------------------------------------------
     # Interning
@@ -270,9 +474,10 @@ class Solver:
         if node is None:
             node = len(self._pts)
             self._node_ids[key] = node
-            self._pts.append(set())
+            self._pts.append(0 if self._use_bits else set())
             self._succs.append([])
             self._edge_seen.append(set())
+            self._meta_by_node.append(None)
         return node
 
     def _var_node(self, ctx: Context, method: Method, var: str) -> int:
@@ -280,7 +485,9 @@ class Solver:
         node = self._node_ids.get(key)
         if node is None:
             node = self._node(key)
-            self._var_meta[node] = (ctx, method, var)
+            meta = (ctx, method, var)
+            self._var_meta[node] = meta
+            self._meta_by_node[node] = meta
         return node
 
     def _exception_node(self, ctx: Context, method: Method) -> int:
@@ -332,6 +539,10 @@ class Solver:
             self._object_alloc_sites[obj].add(site)
         return obj
 
+    def _singleton(self, obj: int):
+        """A one-object points-to payload in the backend's encoding."""
+        return (1 << obj) if self._use_bits else {obj}
+
     # ------------------------------------------------------------------
     # Reachability
     # ------------------------------------------------------------------
@@ -350,7 +561,9 @@ class Solver:
         info = self._method_info[mkey]
         for stmt in info.allocs:
             obj = self._object(stmt.site, stmt.class_name, ctx)
-            self._worklist.append((self._var_node(ctx, method, stmt.target), {obj}))
+            self._worklist.append(
+                (self._var_node(ctx, method, stmt.target), self._singleton(obj))
+            )
         for stmt in info.copies:
             self._add_edge(
                 self._var_node(ctx, method, stmt.source),
@@ -411,7 +624,14 @@ class Solver:
         existing = self._pts[source]
         if existing:
             if filter_class is None:
-                self._worklist.append((target, set(existing)))
+                # Bit-vectors are immutable — push as-is; sets must be
+                # copied because the node keeps mutating its own set.
+                payload = existing if self._use_bits else set(existing)
+                self._worklist.append((target, payload))
+            elif self._use_bits:
+                filtered = existing & self._filter_masks.mask_for(filter_class)
+                if filtered:
+                    self._worklist.append((target, filtered))
             else:
                 filtered = {
                     o for o in existing
@@ -421,27 +641,30 @@ class Solver:
                     self._worklist.append((target, filtered))
 
     def _process_var_delta(self, meta: Tuple[Context, Method, str],
-                           delta: Set[int]) -> None:
+                           delta) -> None:
         ctx, method, var = meta
         info = self._method_info[id(method)]
         loads = info.loads_by_base.get(var)
+        stores = info.stores_by_base.get(var)
+        invokes = info.invokes_by_base.get(var)
+        if loads is None and stores is None and invokes is None:
+            return
+        objs = self._delta_ids(delta)
         if loads:
             for stmt in loads:
                 target = self._var_node(ctx, method, stmt.target)
-                for obj in delta:
+                for obj in objs:
                     self.counters["load_edges"] += 1
                     self._add_edge(self._field_node(obj, stmt.field_name), target)
-        stores = info.stores_by_base.get(var)
         if stores:
             for stmt in stores:
                 source = self._var_node(ctx, method, stmt.source)
-                for obj in delta:
+                for obj in objs:
                     self.counters["store_edges"] += 1
                     self._add_edge(source, self._field_node(obj, stmt.field_name))
-        invokes = info.invokes_by_base.get(var)
         if invokes:
             for stmt in invokes:
-                for obj in delta:
+                for obj in objs:
                     self._process_virtual_dispatch(ctx, method, stmt, obj)
 
     def _process_virtual_dispatch(self, ctx: Context, caller: Method,
@@ -460,7 +683,7 @@ class Solver:
         # `this` receives exactly this object, unconditionally (cheap,
         # dedups in propagate).
         self._worklist.append(
-            (self._var_node(callee_ctx, callee, "this"), {obj})
+            (self._var_node(callee_ctx, callee, "this"), self._singleton(obj))
         )
         edge = (ctx, stmt.call_site, callee_ctx, callee.qualified_name)
         if edge in self._cg_edges_ctx:
@@ -508,25 +731,12 @@ class Solver:
             self._exception_node(ctx, caller),
         )
 
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _is_subtype_name(self, sub: str, sup: str) -> bool:
-        key = (sub, sup)
-        cached = self._subtype_cache.get(key)
-        if cached is None:
-            hierarchy = self._hierarchy
-            cached = (
-                sub in hierarchy
-                and sup in hierarchy
-                and hierarchy.is_subtype(hierarchy.get(sub), hierarchy.get(sup))
-            )
-            self._subtype_cache[key] = cached
-        return cached
-
 
 def solve(program: Program, selector: Optional[ContextSelector] = None,
           heap_model: Optional[HeapModel] = None,
-          timeout_seconds: Optional[float] = None):
+          timeout_seconds: Optional[float] = None,
+          pts_backend: Optional[str] = None,
+          perf: Optional[PerfRecorder] = None):
     """Convenience wrapper: build a :class:`Solver` and run it."""
-    return Solver(program, selector, heap_model, timeout_seconds).solve()
+    return Solver(program, selector, heap_model, timeout_seconds,
+                  pts_backend=pts_backend, perf=perf).solve()
