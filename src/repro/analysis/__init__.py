@@ -1,4 +1,5 @@
-"""End-to-end analysis orchestration (pre-analysis → MAHJONG → main)."""
+"""End-to-end analysis orchestration (pre-analysis → MAHJONG → main),
+resource governance, and graceful degradation."""
 
 from repro.analysis.config import (
     AnalysisConfig,
@@ -6,12 +7,27 @@ from repro.analysis.config import (
     PAPER_CONFIGS,
     parse_config,
 )
+from repro.analysis.governor import (
+    PHASES,
+    PhaseBudget,
+    ResourceGovernor,
+)
 from repro.analysis.introspective import refinement_set, run_introspective
 from repro.analysis.pipeline import (
     AnalysisRun,
+    AttemptRecord,
     PreAnalysisArtifacts,
+    coarser_sensitivity,
+    degradation_chain,
+    next_rung,
     run_analysis,
     run_pre_analysis,
+)
+from repro.resources import (
+    MemoryBudgetExceeded,
+    ResourceExhausted,
+    TimeBudgetExceeded,
+    WorkBudgetExceeded,
 )
 
 __all__ = [
@@ -20,9 +36,20 @@ __all__ = [
     "PAPER_BASELINES",
     "PAPER_CONFIGS",
     "AnalysisRun",
+    "AttemptRecord",
     "PreAnalysisArtifacts",
     "run_analysis",
     "run_pre_analysis",
     "run_introspective",
     "refinement_set",
+    "coarser_sensitivity",
+    "degradation_chain",
+    "next_rung",
+    "PHASES",
+    "PhaseBudget",
+    "ResourceGovernor",
+    "ResourceExhausted",
+    "TimeBudgetExceeded",
+    "MemoryBudgetExceeded",
+    "WorkBudgetExceeded",
 ]

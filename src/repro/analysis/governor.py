@@ -1,0 +1,243 @@
+"""Per-phase resource governance for the analysis pipeline.
+
+The pipeline runs four budgetable phases — ``pre`` (the ci
+pre-analysis), ``fpg``, ``merge``, and ``main`` — and each can be given
+an independent :class:`PhaseBudget` covering three resource axes:
+
+* **wall-clock** (``wall_seconds``),
+* **peak memory** (``memory_bytes``, against the process watermark from
+  :func:`repro.resources.memory_watermark_bytes`, plus any injected
+  ``memory-spike`` from :mod:`repro.faults`),
+* **work** (``max_iterations`` worklist pops, ``max_objects`` interned
+  abstract objects, ``max_worklist`` pending-entry depth).
+
+A :class:`ResourceGovernor` owns the budgets and the current-phase
+state.  The pipeline brackets each phase with :meth:`phase`; the solver
+calls :meth:`check` on its existing 1024-pop timeout stride (the
+governor's ``check_stride`` can lower that, e.g. to 1 in tests, so
+budgets land deterministically even on tiny programs).  Exhaustion
+raises the :mod:`repro.resources` taxonomy with the phase attributed,
+which is what the degradation ladder keys its retry decisions on.
+
+The governor is stateful and single-run: build one per
+:func:`~repro.analysis.pipeline.run_analysis` call (the batch runner
+builds one per program).  After a run, :meth:`report` returns the
+per-phase elapsed times and high-water marks for provenance.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro import faults
+from repro.perf import PerfRecorder
+from repro.resources import (
+    MemoryBudgetExceeded,
+    ResourceExhausted,
+    TimeBudgetExceeded,
+    WorkBudgetExceeded,
+    memory_watermark_bytes,
+)
+
+__all__ = [
+    "PHASES",
+    "PhaseBudget",
+    "ResourceGovernor",
+    "ResourceExhausted",
+    "TimeBudgetExceeded",
+    "MemoryBudgetExceeded",
+    "WorkBudgetExceeded",
+]
+
+#: The pipeline's budgetable phases, in execution order.
+PHASES = ("pre", "fpg", "merge", "main")
+
+
+@dataclass(frozen=True)
+class PhaseBudget:
+    """Budgets for one phase; ``None`` = unbounded on that axis."""
+
+    wall_seconds: Optional[float] = None
+    memory_bytes: Optional[int] = None
+    max_iterations: Optional[int] = None
+    max_objects: Optional[int] = None
+    max_worklist: Optional[int] = None
+
+    @property
+    def unbounded(self) -> bool:
+        return (self.wall_seconds is None and self.memory_bytes is None
+                and self.max_iterations is None and self.max_objects is None
+                and self.max_worklist is None)
+
+
+class ResourceGovernor:
+    """Owns per-phase budgets and raises the exhaustion taxonomy.
+
+    ``budgets`` maps phase names (from :data:`PHASES`) to
+    :class:`PhaseBudget`; ``default`` applies to phases without an
+    explicit entry.  ``check_stride`` must be a power of two and lowers
+    the solver's check cadence when below the solver's own stride.
+    """
+
+    def __init__(
+        self,
+        budgets: Optional[Mapping[str, PhaseBudget]] = None,
+        default: Optional[PhaseBudget] = None,
+        check_stride: int = 1024,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
+        self.budgets: Dict[str, PhaseBudget] = dict(budgets or {})
+        for name in self.budgets:
+            if name not in PHASES:
+                raise ValueError(
+                    f"unknown phase {name!r}; known: {', '.join(PHASES)}"
+                )
+        self.default = default
+        if check_stride <= 0 or check_stride & (check_stride - 1):
+            raise ValueError(
+                f"check_stride must be a power of two, got {check_stride}"
+            )
+        self.check_stride = check_stride
+        self.perf = perf
+        self._phase: Optional[str] = None
+        self._phase_start: float = 0.0
+        self._report: Dict[str, Dict[str, float]] = {}
+
+    @classmethod
+    def from_limits(
+        cls,
+        wall_seconds: Optional[float] = None,
+        memory_mb: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+        max_objects: Optional[int] = None,
+        check_stride: int = 1024,
+    ) -> "ResourceGovernor":
+        """Convenience constructor: one budget applied to every phase
+        (how the CLI's ``--max-iterations`` / ``--memory-mb`` flags are
+        spelled)."""
+        budget = PhaseBudget(
+            wall_seconds=wall_seconds,
+            memory_bytes=None if memory_mb is None else int(memory_mb * 1024 * 1024),
+            max_iterations=max_iterations,
+            max_objects=max_objects,
+        )
+        return cls(default=budget, check_stride=check_stride)
+
+    # -- phase structure ------------------------------------------------
+    @property
+    def current_phase(self) -> Optional[str]:
+        return self._phase
+
+    def _budget_for(self, phase: str) -> Optional[PhaseBudget]:
+        return self.budgets.get(phase, self.default)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Bracket one phase: starts its clock, attributes any
+        :class:`ResourceExhausted` escaping the block, records elapsed
+        time and peaks into :meth:`report`, and runs one final
+        :meth:`check` at the boundary (so phases without internal check
+        sites — FPG build, merge — still honor wall-clock budgets,
+        detected at exit)."""
+        if name not in PHASES:
+            raise ValueError(f"unknown phase {name!r}; known: {', '.join(PHASES)}")
+        previous, previous_start = self._phase, self._phase_start
+        self._phase = name
+        self._phase_start = time.monotonic()
+        try:
+            yield
+            self.check()
+        except ResourceExhausted as exc:
+            if exc.phase is None:
+                exc.phase = name
+            raise
+        finally:
+            elapsed = time.monotonic() - self._phase_start
+            entry = self._report.setdefault(name, {"seconds": 0.0})
+            entry["seconds"] += elapsed
+            if self.perf is not None:
+                self.perf.add_time(f"governor.{name}", elapsed)
+            self._phase, self._phase_start = previous, previous_start
+
+    @contextmanager
+    def ensure_phase(self, name: str) -> Iterator[None]:
+        """Like :meth:`phase`, but a no-op when a phase is already
+        active — lets a standalone :class:`~repro.pta.solver.Solver`
+        self-bracket without fighting the pipeline's scopes."""
+        if self._phase is not None:
+            yield
+            return
+        with self.phase(name):
+            yield
+
+    # -- the hot-path check ---------------------------------------------
+    def check(self, iterations: int = 0, objects: int = 0,
+              worklist: int = 0) -> None:
+        """Raise if the current phase's budget is exhausted.
+
+        Called by the solver on its check stride and by :meth:`phase` at
+        boundaries.  Memory is sampled only when a memory budget is set
+        (the watermark read is a syscall); the sample includes any armed
+        ``memory-spike`` fault.
+        """
+        phase = self._phase or "main"
+        budget = self._budget_for(phase)
+        if budget is None or budget.unbounded:
+            return
+        entry = self._report.setdefault(phase, {"seconds": 0.0})
+        if iterations:
+            entry["iterations"] = max(entry.get("iterations", 0), iterations)
+        if budget.wall_seconds is not None:
+            elapsed = time.monotonic() - self._phase_start
+            if elapsed > budget.wall_seconds:
+                raise TimeBudgetExceeded(
+                    f"phase {phase!r} exceeded {budget.wall_seconds:.3f}s "
+                    f"(elapsed {elapsed:.3f}s)",
+                    phase=phase, budget=budget.wall_seconds,
+                    observed=elapsed, iterations=iterations,
+                )
+        if budget.max_iterations is not None and iterations > budget.max_iterations:
+            raise WorkBudgetExceeded(
+                f"phase {phase!r} exceeded {budget.max_iterations} "
+                f"worklist iterations",
+                phase=phase, budget=budget.max_iterations,
+                observed=iterations, iterations=iterations,
+            )
+        if budget.max_objects is not None and objects > budget.max_objects:
+            raise WorkBudgetExceeded(
+                f"phase {phase!r} exceeded {budget.max_objects} "
+                f"abstract objects ({objects} interned)",
+                phase=phase, budget=budget.max_objects,
+                observed=objects, iterations=iterations,
+            )
+        if budget.max_worklist is not None and worklist > budget.max_worklist:
+            raise WorkBudgetExceeded(
+                f"phase {phase!r} exceeded worklist depth "
+                f"{budget.max_worklist} ({worklist} pending)",
+                phase=phase, budget=budget.max_worklist,
+                observed=worklist, iterations=iterations,
+            )
+        if budget.memory_bytes is not None:
+            observed = memory_watermark_bytes()
+            if observed is not None:
+                plan = faults.current_plan()
+                if plan is not None:
+                    observed += plan.spike_bytes()
+                entry["peak_memory_bytes"] = max(
+                    entry.get("peak_memory_bytes", 0), observed
+                )
+                if observed > budget.memory_bytes:
+                    raise MemoryBudgetExceeded(
+                        f"phase {phase!r} exceeded {budget.memory_bytes} "
+                        f"bytes (watermark {observed})",
+                        phase=phase, budget=budget.memory_bytes,
+                        observed=observed, iterations=iterations,
+                    )
+
+    # -- provenance -----------------------------------------------------
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase elapsed seconds and observed peaks (JSON-native)."""
+        return {name: dict(entry) for name, entry in self._report.items()}

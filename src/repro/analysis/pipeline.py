@@ -15,16 +15,38 @@ type abstraction, bare names use the allocation-site abstraction).
 
 :func:`run_analysis` returns an :class:`AnalysisRun` carrying the result,
 the client metrics, and the per-phase timing breakdown used by the
-Table 2 harness.  Timeouts reproduce the paper's "unscalable within
-budget" rows: the run is marked ``timed_out`` instead of raising.
+Table 2 harness.  Budget exhaustion reproduces the paper's "unscalable
+within budget" rows: the run is marked ``timed_out`` instead of raising
+— *any* :class:`~repro.resources.ResourceExhausted` (wall-clock, memory
+watermark, or work guard, whether from ``timeout_seconds`` or a
+:class:`~repro.analysis.governor.ResourceGovernor`) is caught in *every*
+phase, pre-analysis included, and attributed to the phase that burned
+the budget.
+
+**Degradation ladder.**  With ``degrade`` enabled, exhaustion does not
+zero out the run: the pipeline retries down a chain of coarser — but
+still sound — configurations (MAHJONG's own thesis, and the
+introspective-analysis family's: a coarse answer beats no answer).  The
+automatic chain steps ``M-3obj → M-2obj → M-2type → ci``; exhaustion
+*inside* the pre-analysis (or a corrupted FPG) instead drops the
+MAHJONG heap and reruns the same sensitivity on the allocation-site
+heap.  Every attempt is recorded as an :class:`AttemptRecord`, and a
+rescued run carries ``degraded_from`` provenance so harnesses can
+render honest rows.
+
+Fault-injection points (:mod:`repro.faults`) are threaded through every
+phase boundary, which is how the tests exercise each degradation path
+deterministically.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from repro import faults
 from repro.analysis.config import AnalysisConfig, parse_config
 from repro.core.automata import SharedAutomata
 from repro.perf import PerfRecorder
@@ -34,9 +56,10 @@ from repro.clients import (
     check_casts,
     devirtualize,
 )
-from repro.core.fpg import FieldPointsToGraph, build_fpg
+from repro.core.fpg import FieldPointsToGraph, FPGIntegrityError, build_fpg
 from repro.core.heap_modeler import build_heap_abstraction
 from repro.core.merging import MergeOptions, MergeResult, merge_type_consistent_objects
+from repro.faults import InjectedFault
 from repro.ir.program import Program
 from repro.pta.context import selector_for
 from repro.pta.heapmodel import (
@@ -47,8 +70,39 @@ from repro.pta.heapmodel import (
 )
 from repro.pta.results import PointsToResult
 from repro.pta.solver import AnalysisTimeout, Solver
+from repro.resources import ResourceExhausted
 
-__all__ = ["AnalysisRun", "PreAnalysisArtifacts", "run_analysis", "run_pre_analysis"]
+__all__ = [
+    "AnalysisRun",
+    "AttemptRecord",
+    "PreAnalysisArtifacts",
+    "coarser_sensitivity",
+    "degradation_chain",
+    "next_rung",
+    "run_analysis",
+    "run_pre_analysis",
+]
+
+#: Phases that belong to the pre-analysis (exhaustion there drops the
+#: MAHJONG heap rather than the context sensitivity).
+PRE_PHASES = ("pre", "fpg", "merge")
+
+
+@contextmanager
+def _phase_scope(governor, name: str) -> Iterator[None]:
+    """Bracket one pipeline phase: governor budget scope (when present)
+    plus phase attribution on any escaping exhaustion or injected
+    fault."""
+    try:
+        if governor is not None:
+            with governor.phase(name):
+                yield
+        else:
+            yield
+    except (ResourceExhausted, InjectedFault, FPGIntegrityError) as exc:
+        if getattr(exc, "phase", None) is None:
+            exc.phase = name  # type: ignore[attr-defined]
+        raise
 
 
 @dataclass
@@ -71,6 +125,38 @@ class PreAnalysisArtifacts:
 
 
 @dataclass
+class AttemptRecord:
+    """Provenance of one rung of the degradation ladder.
+
+    ``phase``/``cause`` are ``None`` for the successful attempt;
+    ``seconds`` covers the whole attempt (pre-analysis included when the
+    attempt built one), unlike ``AnalysisRun.main_seconds`` which is the
+    main solve only.
+    """
+
+    config: str
+    seconds: float
+    phase: Optional[str] = None
+    cause: Optional[str] = None
+    detail: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.cause is None
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "config": self.config,
+            "seconds": round(self.seconds, 4),
+        }
+        if self.cause is not None:
+            out["phase"] = self.phase
+            out["cause"] = self.cause
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass
 class AnalysisRun:
     """Outcome of one configuration on one program."""
 
@@ -80,15 +166,31 @@ class AnalysisRun:
     timed_out: bool = False
     pre: Optional[PreAnalysisArtifacts] = None
     _metrics: Optional[Dict[str, object]] = field(default=None, repr=False)
+    #: the originally requested configuration, when the ladder stepped
+    #: down from it (set on rescued *and* on fully exhausted runs).
+    degraded_from: Optional[str] = None
+    #: phase whose budget was exhausted, for a failed run.
+    failed_phase: Optional[str] = None
+    #: short cause (``time``/``memory``/``work``/``corrupt``) of failure.
+    exhaustion_cause: Optional[str] = None
+    #: one record per ladder attempt, in order (last one is this run's).
+    attempts: List[AttemptRecord] = field(default_factory=list)
 
     @property
     def succeeded(self) -> bool:
         return self.result is not None
 
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_from is not None and self.result is not None
+
     def metrics(self) -> Dict[str, object]:
         """The paper's Table 2 row: time plus the three client metrics.
 
-        Timed-out runs report only the timing/flag fields.
+        Timed-out runs report only the timing/flag fields.  Degraded or
+        exhausted runs additionally carry their provenance
+        (``degraded_from``, ``failed_phase``, ``exhaustion_cause``, and
+        the per-attempt records) so harness rows stay honest.
         """
         if self._metrics is not None:
             return self._metrics
@@ -99,6 +201,14 @@ class AnalysisRun:
         }
         if self.pre is not None:
             metrics["pre_seconds"] = round(self.pre.total_seconds, 4)
+        if self.degraded_from is not None:
+            metrics["degraded_from"] = self.degraded_from
+        if self.failed_phase is not None:
+            metrics["failed_phase"] = self.failed_phase
+        if self.exhaustion_cause is not None:
+            metrics["exhaustion_cause"] = self.exhaustion_cause
+        if any(not attempt.succeeded for attempt in self.attempts):
+            metrics["attempts"] = [a.as_dict() for a in self.attempts]
         if self.result is not None:
             call_graph = build_call_graph(self.result)
             devirt = devirtualize(call_graph)
@@ -126,23 +236,38 @@ def run_pre_analysis(
     timeout_seconds: Optional[float] = None,
     pts_backend: Optional[str] = None,
     perf: Optional[PerfRecorder] = None,
+    governor=None,
 ) -> PreAnalysisArtifacts:
     """Phases 1–3: ci points-to analysis, FPG construction, MAHJONG.
 
     ``pts_backend`` selects the points-to-set representation for the
     pre-analysis solve (``None`` = process default); ``perf``
-    optionally collects counters/timers across all three phases.
+    optionally collects counters/timers across all three phases;
+    ``governor`` budgets each phase (``pre``/``fpg``/``merge``).
+    Exhaustion raises :class:`~repro.resources.ResourceExhausted` with
+    the phase attributed — :func:`run_analysis` catches it.
     """
     t0 = time.monotonic()
-    pre_result = Solver(program, selector_for("ci"),
-                        AllocationSiteAbstraction(),
-                        timeout_seconds=timeout_seconds,
-                        pts_backend=pts_backend, perf=perf).solve()
+    with _phase_scope(governor, "pre"):
+        faults.fire("pre-boundary", phase="pre")
+        pre_result = Solver(program, selector_for("ci"),
+                            AllocationSiteAbstraction(),
+                            timeout_seconds=timeout_seconds,
+                            pts_backend=pts_backend, perf=perf,
+                            governor=governor, phase_label="pre").solve()
     t1 = time.monotonic()
-    fpg = build_fpg(pre_result)
+    with _phase_scope(governor, "fpg"):
+        faults.fire("fpg-boundary", phase="fpg")
+        fpg = build_fpg(pre_result)
+        # a corrupted artifact must not reach the merge phase; the
+        # fault plan may deliberately corrupt an edge right before.
+        faults.corrupt_fpg(fpg)
+        fpg.check_integrity()
     t2 = time.monotonic()
-    shared = SharedAutomata(fpg, perf=perf) if perf is not None else None
-    merge = merge_type_consistent_objects(fpg, merge_options, shared=shared)
+    with _phase_scope(governor, "merge"):
+        faults.fire("merge-boundary", phase="merge")
+        shared = SharedAutomata(fpg, perf=perf) if perf is not None else None
+        merge = merge_type_consistent_objects(fpg, merge_options, shared=shared)
     t3 = time.monotonic()
     if perf is not None:
         perf.add_time("pre.fpg", t2 - t1)
@@ -160,6 +285,108 @@ def run_pre_analysis(
     )
 
 
+# ----------------------------------------------------------------------
+# The degradation ladder
+# ----------------------------------------------------------------------
+def coarser_sensitivity(sensitivity: str) -> Optional[str]:
+    """One step down the precision ladder, or ``None`` below ``ci``.
+
+    ``kobj → (k-1)obj`` down to ``2obj → 2type``; ``ktype → (k-1)type``
+    down to ``2type → ci``; ``kcs → (k-1)cs`` down to ``2cs → ci``.
+    """
+    if sensitivity == "ci":
+        return None
+    for suffix in ("cs", "obj", "type"):
+        if sensitivity.endswith(suffix) and sensitivity[:-len(suffix)].isdigit():
+            k = int(sensitivity[:-len(suffix)])
+            break
+    else:
+        return None
+    if k <= 1:
+        return "ci"
+    if suffix == "obj":
+        return f"{k - 1}obj" if k > 2 else "2type"
+    # cs and type both bottom out at ci from k=2
+    return f"{k - 1}{suffix}" if k > 2 else "ci"
+
+
+def next_rung(config_name: str, failed_phase: Optional[str]) -> Optional[str]:
+    """The next (coarser) configuration after ``config_name`` exhausted
+    its budget in ``failed_phase``, or ``None`` when the ladder ends.
+
+    Main-phase exhaustion keeps the heap abstraction and coarsens the
+    context sensitivity; pre-analysis exhaustion (``pre``/``fpg``/
+    ``merge`` — the MAHJONG machinery itself was the problem) falls back
+    to the allocation-site heap at the same sensitivity.  The
+    ``@backend`` suffix is carried through unchanged.
+    """
+    config = parse_config(config_name)
+    suffix = f"@{config.pts_backend}" if config.pts_backend else ""
+    if failed_phase in PRE_PHASES and config.heap == "mahjong":
+        return config.sensitivity + suffix
+    sensitivity = coarser_sensitivity(config.sensitivity)
+    if sensitivity is None:
+        return None
+    if sensitivity == "ci":
+        # the pre-analysis already *is* an allocation-site ci solve, so
+        # the bottom rung never needs a heap prefix
+        return "ci" + suffix
+    prefix = {"mahjong": "M-", "alloc-type": "T-", "alloc-site": ""}[config.heap]
+    return prefix + sensitivity + suffix
+
+
+def degradation_chain(config_name: str) -> List[str]:
+    """The full automatic main-phase ladder below ``config_name``
+    (e.g. ``M-3obj`` → ``["M-2obj", "M-2type", "ci"]``)."""
+    chain: List[str] = []
+    current = config_name
+    while True:
+        current = next_rung(current, "main")
+        if current is None:
+            return chain
+        chain.append(current)
+
+
+def _normalize_degrade(
+    degrade: Union[None, bool, str, Sequence[str]],
+) -> Union[None, str, List[str]]:
+    """``None``/``False`` → off; ``True``/``"auto"`` → ``"auto"``;
+    anything else → an explicit list of rung names."""
+    if degrade is None or degrade is False:
+        return None
+    if degrade is True or degrade == "auto":
+        return "auto"
+    if isinstance(degrade, str):
+        return [part.strip() for part in degrade.split(",") if part.strip()]
+    return list(degrade)
+
+
+def _solve_main(
+    program: Program,
+    config: AnalysisConfig,
+    heap_model: HeapModel,
+    timeout_seconds: Optional[float],
+    pts_backend: Optional[str],
+    perf: Optional[PerfRecorder],
+    governor,
+) -> AnalysisRun:
+    """Phase 4 for one configuration; raises on exhaustion."""
+    selector = selector_for(config.sensitivity)
+    solver = Solver(program, selector, heap_model,
+                    timeout_seconds=timeout_seconds,
+                    pts_backend=pts_backend, perf=perf,
+                    governor=governor, phase_label="main")
+    start = time.monotonic()
+    with _phase_scope(governor, "main"):
+        faults.fire("main-boundary", phase="main")
+        result = solver.solve()
+    return AnalysisRun(
+        config=config,
+        result=result,
+        main_seconds=time.monotonic() - start,
+    )
+
+
 def run_analysis(
     program: Program,
     analysis: str = "ci",
@@ -168,45 +395,84 @@ def run_analysis(
     merge_options: Optional[MergeOptions] = None,
     pts_backend: Optional[str] = None,
     perf: Optional[PerfRecorder] = None,
+    governor=None,
+    degrade: Union[None, bool, str, Sequence[str]] = None,
 ) -> AnalysisRun:
     """Run a named analysis configuration end to end.
 
     ``pre`` lets callers share one pre-analysis across several ``M-*``
     configurations of the same program (how Table 2 accounts costs).
-    ``timeout_seconds`` bounds the *main* analysis; on expiry the run is
-    returned with ``timed_out=True`` rather than raising.
+    ``timeout_seconds`` bounds each solve (the pre-analysis included);
+    ``governor`` adds per-phase wall-clock/memory/work budgets.  On
+    exhaustion the run is returned with ``timed_out=True`` rather than
+    raising — including exhaustion *inside* the pre-analysis, which is
+    attributed to its phase (``failed_phase``).
+
+    ``degrade`` arms the graceful-degradation ladder: ``True`` (or
+    ``"auto"``) retries down the automatic chain (see :func:`next_rung`),
+    a sequence (or comma-separated string) of configuration names is
+    tried in the given order.  A rescued run keeps ``timed_out=False``
+    and records ``degraded_from`` plus per-attempt provenance.
     ``pts_backend`` overrides the configuration's ``@backend`` suffix;
     with neither given, the process default representation is used.
     """
-    config = parse_config(analysis)
-    if pts_backend is None:
-        pts_backend = config.pts_backend
-    heap_model: HeapModel
-    if config.heap == "mahjong":
-        if pre is None:
-            pre = run_pre_analysis(program, merge_options,
-                                   pts_backend=pts_backend, perf=perf)
-        heap_model = pre.abstraction
-    elif config.heap == "alloc-type":
-        heap_model = AllocationTypeAbstraction(program)
-    else:
-        heap_model = AllocationSiteAbstraction()
-
-    selector = selector_for(config.sensitivity)
-    solver = Solver(program, selector, heap_model,
-                    timeout_seconds=timeout_seconds,
-                    pts_backend=pts_backend, perf=perf)
-    start = time.monotonic()
-    try:
-        result: Optional[PointsToResult] = solver.solve()
-        timed_out = False
-    except AnalysisTimeout:
-        result = None
-        timed_out = True
-    return AnalysisRun(
-        config=config,
-        result=result,
-        main_seconds=time.monotonic() - start,
-        timed_out=timed_out,
-        pre=pre,
-    )
+    ladder = _normalize_degrade(degrade)
+    requested = analysis
+    attempts: List[AttemptRecord] = []
+    current = analysis
+    shared_pre = pre
+    explicit_index = 0
+    while True:
+        config = parse_config(current)
+        backend = pts_backend if pts_backend is not None else config.pts_backend
+        start = time.monotonic()
+        try:
+            if config.heap == "mahjong":
+                if shared_pre is None:
+                    shared_pre = run_pre_analysis(
+                        program, merge_options,
+                        timeout_seconds=timeout_seconds,
+                        pts_backend=backend, perf=perf, governor=governor,
+                    )
+                heap_model: HeapModel = shared_pre.abstraction
+            elif config.heap == "alloc-type":
+                heap_model = AllocationTypeAbstraction(program)
+            else:
+                heap_model = AllocationSiteAbstraction()
+            run = _solve_main(program, config, heap_model, timeout_seconds,
+                              backend, perf, governor)
+        except (ResourceExhausted, FPGIntegrityError) as exc:
+            seconds = time.monotonic() - start
+            phase = getattr(exc, "phase", None) or "main"
+            cause = exc.resource if isinstance(exc, ResourceExhausted) else "corrupt"
+            attempts.append(AttemptRecord(
+                config=current, seconds=seconds, phase=phase, cause=cause,
+                detail=str(exc),
+            ))
+            if ladder == "auto":
+                following = next_rung(current, phase)
+            elif ladder is not None and explicit_index < len(ladder):
+                following = ladder[explicit_index]
+                explicit_index += 1
+            else:
+                following = None
+            if following is None:
+                return AnalysisRun(
+                    config=config,
+                    result=None,
+                    main_seconds=seconds,
+                    timed_out=True,
+                    pre=shared_pre,
+                    degraded_from=requested if current != requested else None,
+                    failed_phase=phase,
+                    exhaustion_cause=cause,
+                    attempts=attempts,
+                )
+            current = following
+            continue
+        attempts.append(AttemptRecord(config=current, seconds=run.main_seconds))
+        run.pre = shared_pre
+        run.attempts = attempts
+        if current != requested:
+            run.degraded_from = requested
+        return run

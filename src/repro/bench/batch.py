@@ -1,0 +1,341 @@
+"""Batch corpus runner with per-program failure isolation.
+
+The bench harnesses assume every program completes; a production-shaped
+service cannot.  ``repro batch`` (also ``python -m repro.bench batch``)
+runs one analysis configuration over a whole corpus and guarantees the
+batch *finishes*:
+
+* each program runs in isolation — a crash, a corrupted artifact, or a
+  blown budget yields a structured :class:`BatchRecord` while the rest
+  of the batch continues;
+* :class:`~repro.faults.TransientFault` (flaky-infrastructure
+  simulation, and the natural slot for real transient errors) is
+  retried with deterministic jittered exponential backoff before being
+  recorded as a failure;
+* budget exhaustion rides the pipeline's degradation ladder by default,
+  so a record is ``degraded`` (coarser but usable metrics, with
+  ``degraded_from`` provenance) rather than empty whenever any rung
+  fits the budget.
+
+Record statuses: ``ok`` (requested configuration completed),
+``degraded`` (a coarser rung completed), ``exhausted`` (every rung blew
+the budget — the paper's "unscalable within budget"), ``failed`` (the
+attempt raised; the error is recorded).
+
+Programs come from the synthetic profiles (``--profiles``), the
+hand-written corpus (``--corpus``), and/or mini-Java files
+(``--files``).  Per-phase budgets come from ``--budget`` (wall-clock
+per solve) plus the governor knobs (``--max-iterations``,
+``--memory-mb``); fault injection from ``--faults``/``--faults-seed``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.governor import ResourceGovernor
+from repro.analysis.pipeline import run_analysis
+from repro.bench.reporting import format_seconds, render_table
+from repro.faults import TransientFault
+from repro.ir.program import Program
+
+__all__ = ["BatchRecord", "BatchResult", "run_batch", "main"]
+
+#: Statuses that still produced a usable result.
+USABLE_STATUSES = ("ok", "degraded")
+
+
+@dataclass
+class BatchRecord:
+    """Outcome of one program in the batch."""
+
+    program: str
+    config: str
+    status: str  # "ok" | "degraded" | "exhausted" | "failed"
+    seconds: float
+    retries: int = 0
+    metrics: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    degraded_from: Optional[str] = None
+    failed_phase: Optional[str] = None
+    exhaustion_cause: Optional[str] = None
+
+    @property
+    def usable(self) -> bool:
+        return self.status in USABLE_STATUSES
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "program": self.program,
+            "config": self.config,
+            "status": self.status,
+            "seconds": round(self.seconds, 4),
+            "retries": self.retries,
+        }
+        for key in ("metrics", "error", "degraded_from", "failed_phase",
+                    "exhaustion_cause"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass
+class BatchResult:
+    """All records of one batch run."""
+
+    config: str
+    records: List[BatchRecord] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    @property
+    def all_usable(self) -> bool:
+        return all(record.usable for record in self.records)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config,
+            "counts": self.counts(),
+            "records": [record.as_dict() for record in self.records],
+        }
+
+    def render(self) -> str:
+        rows = []
+        for record in self.records:
+            detail = ""
+            if record.status == "degraded":
+                detail = f"ran {record.metrics['analysis']}" if record.metrics else ""
+            elif record.status == "exhausted":
+                detail = f"{record.exhaustion_cause} in {record.failed_phase}"
+            elif record.status == "failed":
+                detail = (record.error or "")[:60]
+            rows.append((
+                record.program,
+                record.status,
+                format_seconds(record.seconds),
+                record.retries or "-",
+                detail or "-",
+            ))
+        counts = ", ".join(
+            f"{count} {status}" for status, count in sorted(self.counts().items())
+        )
+        table = render_table(
+            ("program", "status", "time", "retries", "detail"), rows,
+            title=f"Batch: {self.config} over {len(self.records)} programs",
+        )
+        return f"{table}\n\ntotals: {counts or 'empty batch'}"
+
+
+ProgramSource = Union[Program, Callable[[], Program]]
+
+
+def _classify(run) -> Tuple[str, Optional[str], Optional[str], Optional[str]]:
+    if run.timed_out:
+        return "exhausted", run.degraded_from, run.failed_phase, run.exhaustion_cause
+    if run.degraded:
+        return "degraded", run.degraded_from, None, None
+    return "ok", None, None, None
+
+
+def run_batch(
+    programs: Iterable[Tuple[str, ProgramSource]],
+    config: str = "M-2obj",
+    budget: Optional[float] = None,
+    degrade: Union[bool, str, Sequence[str]] = True,
+    max_retries: int = 2,
+    backoff_seconds: float = 0.05,
+    seed: int = 0,
+    governor_factory: Optional[Callable[[], ResourceGovernor]] = None,
+    verbose: bool = False,
+) -> BatchResult:
+    """Run ``config`` over every program, isolating failures.
+
+    ``programs`` yields ``(name, program_or_thunk)`` pairs; thunks are
+    evaluated inside the isolation boundary so even a program that
+    fails to *load* (parse error, generator bug) becomes a ``failed``
+    record instead of killing the batch.  ``governor_factory`` builds a
+    fresh :class:`~repro.analysis.governor.ResourceGovernor` per attempt
+    (governors are stateful).  Transient faults are retried up to
+    ``max_retries`` times with jittered exponential backoff seeded by
+    ``seed`` — deterministic, like everything else in the fault path.
+    """
+    rng = random.Random(seed)
+    result = BatchResult(config=config)
+    for name, source in programs:
+        retries = 0
+        start = time.monotonic()
+        while True:
+            try:
+                program = source() if callable(source) else source
+                governor = governor_factory() if governor_factory else None
+                run = run_analysis(program, config, timeout_seconds=budget,
+                                   governor=governor, degrade=degrade)
+            except TransientFault as exc:
+                if retries >= max_retries:
+                    record = BatchRecord(
+                        program=name, config=config, status="failed",
+                        seconds=time.monotonic() - start, retries=retries,
+                        error=f"transient fault persisted after "
+                              f"{retries} retries: {exc}",
+                    )
+                    break
+                retries += 1
+                # jittered exponential backoff: deterministic under seed
+                delay = backoff_seconds * (2 ** (retries - 1)) * (0.5 + rng.random())
+                time.sleep(delay)
+                continue
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                record = BatchRecord(
+                    program=name, config=config, status="failed",
+                    seconds=time.monotonic() - start, retries=retries,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                break
+            else:
+                status, degraded_from, failed_phase, cause = _classify(run)
+                record = BatchRecord(
+                    program=name, config=config, status=status,
+                    seconds=time.monotonic() - start, retries=retries,
+                    metrics=dict(run.metrics()),
+                    degraded_from=degraded_from,
+                    failed_phase=failed_phase,
+                    exhaustion_cause=cause,
+                )
+                break
+        result.records.append(record)
+        if verbose:
+            print(f"  {name:<16} {record.status:<10} "
+                  f"{format_seconds(record.seconds)}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _collect_programs(args) -> List[Tuple[str, ProgramSource]]:
+    from repro.workloads import PROFILE_NAMES, corpus_names, corpus_program, load_profile
+
+    programs: List[Tuple[str, ProgramSource]] = []
+
+    def profile_thunk(name: str) -> Callable[[], Program]:
+        return lambda: load_profile(name, args.scale)
+
+    def corpus_thunk(name: str) -> Callable[[], Program]:
+        return lambda: corpus_program(name)
+
+    def file_thunk(path: str) -> Callable[[], Program]:
+        def load() -> Program:
+            from repro.frontend import parse_program
+
+            with open(path, "r", encoding="utf-8") as handle:
+                return parse_program(handle.read())
+
+        return load
+
+    if args.profiles:
+        names = (list(PROFILE_NAMES) if args.profiles == "all"
+                 else [p for p in args.profiles.split(",") if p])
+        programs += [(name, profile_thunk(name)) for name in names]
+    if args.corpus:
+        names = (corpus_names() if args.corpus == "all"
+                 else [c for c in args.corpus.split(",") if c])
+        programs += [(name, corpus_thunk(name)) for name in names]
+    for path in args.files:
+        programs.append((path, file_thunk(path)))
+    if not programs:  # default: the hand-written corpus
+        programs = [(name, corpus_thunk(name)) for name in corpus_names()]
+    return programs
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+    from contextlib import nullcontext
+
+    from repro import faults as faults_mod
+    from repro.export import dump_json
+
+    parser = argparse.ArgumentParser(
+        prog="repro batch", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--config", default="M-2obj")
+    parser.add_argument("--profiles", default="",
+                        help="comma-separated profile names, or 'all'")
+    parser.add_argument("--corpus", default="",
+                        help="comma-separated corpus names, or 'all'")
+    parser.add_argument("--files", nargs="*", default=[],
+                        help="mini-Java source files")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--budget", type=float, default=None,
+                        help="wall-clock budget per solve, in seconds")
+    parser.add_argument("--no-degrade", action="store_true",
+                        help="disable the degradation ladder")
+    parser.add_argument("--ladder", default=None,
+                        help="explicit comma-separated degradation rungs")
+    parser.add_argument("--max-retries", type=int, default=2)
+    parser.add_argument("--backoff", type=float, default=0.05,
+                        help="base backoff in seconds for transient faults")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-iterations", type=int, default=None)
+    parser.add_argument("--memory-mb", type=float, default=None)
+    parser.add_argument("--check-stride", type=int, default=1024)
+    parser.add_argument("--faults", default=None,
+                        help="fault-injection spec (see repro.faults)")
+    parser.add_argument("--faults-seed", type=int, default=0)
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero unless every record is usable")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the JSON batch report here")
+    args = parser.parse_args(argv)
+
+    degrade: Union[bool, str] = True
+    if args.no_degrade:
+        degrade = False
+    elif args.ladder:
+        degrade = args.ladder
+
+    governor_factory = None
+    if args.max_iterations is not None or args.memory_mb is not None:
+        governor_factory = lambda: ResourceGovernor.from_limits(  # noqa: E731
+            memory_mb=args.memory_mb,
+            max_iterations=args.max_iterations,
+            check_stride=args.check_stride,
+        )
+
+    plan_scope = (
+        faults_mod.active(faults_mod.FaultPlan.parse(
+            args.faults, seed=args.faults_seed, stride=1))
+        if args.faults else nullcontext()
+    )
+    with plan_scope:
+        result = run_batch(
+            _collect_programs(args),
+            config=args.config,
+            budget=args.budget,
+            degrade=degrade,
+            max_retries=args.max_retries,
+            backoff_seconds=args.backoff,
+            seed=args.seed,
+            governor_factory=governor_factory,
+            verbose=True,
+        )
+    print()
+    print(result.render())
+    if args.output:
+        dump_json(result.to_dict(), args.output)
+        print(f"wrote {args.output}")
+    if args.strict and not result.all_usable:
+        return 4
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

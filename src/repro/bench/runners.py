@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from repro.analysis.pipeline import (
     AnalysisRun,
@@ -43,17 +43,29 @@ class ProgramUnderBench:
         return self._pre
 
     def run(self, config: str,
-            budget: float = DEFAULT_BUDGET_SECONDS) -> AnalysisRun:
+            budget: float = DEFAULT_BUDGET_SECONDS,
+            degrade: Union[None, bool, str, Sequence[str]] = None,
+            ) -> AnalysisRun:
         """Run one configuration, sharing this program's pre-analysis for
-        ``M-*`` configs (how the paper accounts Table 2 costs)."""
+        ``M-*`` configs (how the paper accounts Table 2 costs).
+
+        ``degrade`` is forwarded to
+        :func:`~repro.analysis.pipeline.run_analysis`; it defaults to
+        off so the paper's "unscalable within budget" cells stay
+        timeouts rather than silently becoming coarser analyses.
+        """
         pre = self.pre if config.startswith("M-") else None
         return run_analysis(self.program, config,
-                            timeout_seconds=budget, pre=pre)
+                            timeout_seconds=budget, pre=pre,
+                            degrade=degrade)
 
 
 def bench_program(name: str, configs: Sequence[str],
                   budget: float = DEFAULT_BUDGET_SECONDS,
-                  scale: float = 1.0) -> Dict[str, AnalysisRun]:
+                  scale: float = 1.0,
+                  degrade: Union[None, bool, str, Sequence[str]] = None,
+                  ) -> Dict[str, AnalysisRun]:
     """Run several configurations on one profile; returns runs by name."""
     under = ProgramUnderBench.load(name, scale)
-    return {config: under.run(config, budget) for config in configs}
+    return {config: under.run(config, budget, degrade=degrade)
+            for config in configs}

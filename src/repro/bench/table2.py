@@ -85,10 +85,15 @@ class Table2Result:
                     if cell is None:
                         row += ["-", "-", "-", "-"]
                         continue
-                    row.append(format_seconds(
+                    text = format_seconds(
                         cell.get("main_seconds"),
                         bool(cell.get("timed_out")), self.budget,
-                    ))
+                    )
+                    # A degraded cell's metrics come from a coarser rung
+                    # of the ladder — mark it so rows stay comparable.
+                    if cell.get("degraded_from"):
+                        text += "*"
+                    row.append(text)
                     for metric in _CLIENT_METRICS:
                         row.append(cell.get(metric, "-"))
                 if speedup is None:
@@ -108,6 +113,13 @@ class Table2Result:
                 headers, rows,
                 title=f"Main analysis: {baseline} vs M-{baseline}",
             ))
+        if any(
+            cell.get("degraded_from")
+            for per_config in self.cells.values()
+            for cell in per_config.values()
+        ):
+            chunks.append("* metrics from a coarser analysis reached via "
+                          "the degradation ladder")
         return "\n\n".join(chunks)
 
 
@@ -117,9 +129,11 @@ def run_table2(
     budget: float = DEFAULT_BUDGET_SECONDS,
     scale: float = 1.0,
     verbose: bool = False,
+    degrade: bool = False,
 ) -> Table2Result:
     """Run the Table 2 matrix (defaults: all 12 programs × 5 baselines,
-    each with its MAHJONG variant)."""
+    each with its MAHJONG variant).  With ``degrade=True`` budget-blown
+    cells walk the degradation ladder and are rendered with a ``*``."""
     profiles = list(profiles) if profiles else list(PROFILE_NAMES)
     baselines = list(baselines) if baselines else list(PAPER_BASELINES)
     result = Table2Result(budget=budget, scale=scale)
@@ -134,12 +148,16 @@ def run_table2(
         result.cells[name] = {}
         for baseline in baselines:
             for config in (baseline, f"M-{baseline}"):
-                run = under.run(config, budget)
+                run = under.run(config, budget,
+                                degrade="auto" if degrade else None)
                 result.cells[name][config] = run.metrics()
                 if verbose:
-                    status = "timeout" if run.timed_out else (
-                        f"{run.main_seconds:.2f}s"
-                    )
+                    if run.timed_out:
+                        status = "timeout"
+                    elif run.degraded:
+                        status = f"{run.main_seconds:.2f}s*"
+                    else:
+                        status = f"{run.main_seconds:.2f}s"
                     print(f"  {name:<12} {config:<8} {status}")
     return result
 
@@ -153,11 +171,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--profiles", type=str, default="")
     parser.add_argument("--configs", type=str, default="",
                         help="comma-separated baselines, e.g. 2obj,3obj")
+    parser.add_argument("--degrade", action="store_true",
+                        help="walk the degradation ladder on budget-blown "
+                             "cells (marked with *)")
     args = parser.parse_args(argv)
     profiles = [p for p in args.profiles.split(",") if p] or None
     baselines = [c for c in args.configs.split(",") if c] or None
     result = run_table2(profiles, baselines, args.budget, args.scale,
-                        verbose=True)
+                        verbose=True, degrade=args.degrade)
     print()
     print(result.render())
     return 0

@@ -7,7 +7,13 @@ Subcommands:
 * ``merge FILE`` — run only the pre-analysis + MAHJONG and print the
   equivalence classes;
 * ``generate PROFILE [-o FILE]`` — emit a synthetic workload as source;
+* ``batch ...`` — run one configuration over a whole corpus with
+  per-program failure isolation (alias of ``python -m repro.bench batch``);
 * ``bench <harness> ...`` — alias of ``python -m repro.bench``.
+
+Exit codes: 0 success, 1 analysis did not succeed (legacy), 2 bad
+usage, 3 resource budget exhausted on every degradation rung, 4 batch
+``--strict`` with unusable records.
 """
 
 from __future__ import annotations
@@ -19,15 +25,50 @@ from typing import List, Optional
 __all__ = ["main"]
 
 
+#: ``analyze`` exit code when every degradation rung blew its budget.
+EXIT_EXHAUSTED = 3
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro import faults
+    from repro.analysis.governor import ResourceGovernor
     from repro.analysis.pipeline import run_analysis
     from repro.frontend import parse_program
 
     with open(args.file, "r", encoding="utf-8") as handle:
         program = parse_program(handle.read())
-    run = run_analysis(program, args.analysis, timeout_seconds=args.budget)
+
+    degrade = False if args.no_degrade else (args.ladder or "auto")
+    governor = None
+    if args.max_iterations is not None or args.memory_mb is not None:
+        governor = ResourceGovernor.from_limits(
+            memory_mb=args.memory_mb,
+            max_iterations=args.max_iterations,
+            check_stride=args.check_stride,
+        )
+    plan_scope = (
+        faults.active(faults.FaultPlan.parse(args.faults,
+                                             seed=args.faults_seed, stride=1))
+        if args.faults else nullcontext()
+    )
+    with plan_scope:
+        run = run_analysis(program, args.analysis,
+                           timeout_seconds=args.budget,
+                           governor=governor, degrade=degrade)
     for key, value in run.metrics().items():
         print(f"{key}: {value}")
+    if run.timed_out:
+        cause = run.exhaustion_cause or "time"
+        phase = run.failed_phase or "main"
+        print(f"error: {cause} budget exhausted in {phase} phase "
+              f"(tried: {', '.join(a.config for a in run.attempts) or args.analysis})",
+              file=sys.stderr)
+        return EXIT_EXHAUSTED
+    if run.degraded:
+        print(f"warning: {args.analysis} exhausted its budget; "
+              f"degraded to {run.config.name}", file=sys.stderr)
     return 0 if run.succeeded else 1
 
 
@@ -118,6 +159,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.bench.batch import main as batch_main
+
+    return batch_main(args.rest)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -136,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--analysis", default="M-2obj")
     analyze.add_argument("--budget", type=float, default=None,
                          help="main-analysis timeout in seconds")
+    analyze.add_argument("--no-degrade", action="store_true",
+                         help="fail instead of walking the degradation ladder")
+    analyze.add_argument("--ladder", default=None,
+                         help="explicit comma-separated degradation rungs")
+    analyze.add_argument("--max-iterations", type=int, default=None,
+                         help="solver iteration budget per phase")
+    analyze.add_argument("--memory-mb", type=float, default=None,
+                         help="peak-memory watermark budget in MiB")
+    analyze.add_argument("--check-stride", type=int, default=1024,
+                         help="governor sampling stride (power of two)")
+    analyze.add_argument("--faults", default=None,
+                         help="deterministic fault-injection spec "
+                              "(see repro.faults)")
+    analyze.add_argument("--faults-seed", type=int, default=0)
     analyze.set_defaults(func=_cmd_analyze)
 
     merge = sub.add_parser("merge", help="show MAHJONG equivalence classes")
@@ -165,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default=None)
     report.set_defaults(func=_cmd_report)
 
+    batch = sub.add_parser(
+        "batch", help="run one configuration over a corpus with "
+                      "per-program failure isolation")
+    batch.add_argument("rest", nargs=argparse.REMAINDER)
+    batch.set_defaults(func=_cmd_batch)
+
     bench = sub.add_parser("bench", help="run a benchmark harness")
     bench.add_argument("harness")
     bench.add_argument("rest", nargs=argparse.REMAINDER)
@@ -173,6 +240,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse's REMAINDER refuses leading options; dispatch the two
+    # pass-through subcommands by hand so e.g. ``batch --corpus all``
+    # reaches the batch parser intact.
+    if argv and argv[0] == "batch":
+        from repro.bench.batch import main as batch_main
+
+        return batch_main(argv[1:])
+    if len(argv) >= 2 and argv[0] == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

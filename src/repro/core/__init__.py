@@ -26,6 +26,7 @@ from repro.core.equivalence import (
     shared_equivalent,
 )
 from repro.core.fpg import (
+    FPGIntegrityError,
     NULL_OBJECT,
     NULL_TYPE_NAME,
     FieldPointsToGraph,
@@ -52,6 +53,7 @@ from repro.core.pathcheck import reached_types, type_consistent_by_paths
 __all__ = [
     "FieldPointsToGraph",
     "build_fpg",
+    "FPGIntegrityError",
     "NULL_OBJECT",
     "NULL_TYPE_NAME",
     "SequentialNFA",

@@ -28,7 +28,18 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
 from repro.ir.types import NULL_TYPE
 from repro.pta.results import PointsToResult
 
-__all__ = ["FieldPointsToGraph", "build_fpg", "NULL_OBJECT", "NULL_TYPE_NAME"]
+__all__ = ["FieldPointsToGraph", "FPGIntegrityError", "build_fpg",
+           "NULL_OBJECT", "NULL_TYPE_NAME"]
+
+
+class FPGIntegrityError(ValueError):
+    """The FPG is internally inconsistent (e.g. a dangling edge).
+
+    Raised by :meth:`FieldPointsToGraph.check_integrity`, which the
+    pipeline runs after FPG construction: a corrupted artifact must not
+    reach the merge phase, where it would poison the heap abstraction —
+    the pipeline instead falls back to the allocation-site heap.
+    """
 
 #: The dummy null object's node id (allocation sites start at 1).
 NULL_OBJECT = 0
@@ -144,6 +155,34 @@ class FieldPointsToGraph:
             for by_field in self._succ.values()
             for targets in by_field.values()
         )
+
+    def check_integrity(self) -> None:
+        """Verify internal consistency; raise :class:`FPGIntegrityError`.
+
+        Checks that every edge endpoint is a registered node and that
+        every registered node has a successor table.  Cost is one pass
+        over the edges — negligible next to the solve that produced
+        them — so the pipeline runs it unconditionally between FPG
+        construction and merging.
+        """
+        type_of = self._type_of
+        for source, by_field in self._succ.items():
+            if source not in type_of:
+                raise FPGIntegrityError(
+                    f"edge source {source} is not a registered object"
+                )
+            for field, targets in by_field.items():
+                for target in targets:
+                    if target not in type_of:
+                        raise FPGIntegrityError(
+                            f"dangling FPG edge {source}.{field} -> {target}: "
+                            f"target is not a registered object"
+                        )
+        for obj in type_of:
+            if obj not in self._succ:
+                raise FPGIntegrityError(
+                    f"object {obj} has no successor table"
+                )
 
     def stats(self) -> Dict[str, int]:
         types = {t for o, t in self._type_of.items() if o != NULL_OBJECT}

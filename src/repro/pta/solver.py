@@ -45,10 +45,13 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import faults as _faults
 from repro.ir.program import Method, Program
+from repro.resources import TimeBudgetExceeded
 from repro.ir.statements import (
     Cast,
     Catch,
@@ -89,13 +92,20 @@ __all__ = ["Solver", "AnalysisTimeout", "solve", "ObjectDescriptor"]
 TIMEOUT_CHECK_STRIDE = 1024
 
 
-class AnalysisTimeout(Exception):
-    """Raised when the wall-clock budget is exhausted mid-solve."""
+class AnalysisTimeout(TimeBudgetExceeded):
+    """Raised when the wall-clock budget is exhausted mid-solve.
+
+    Kept as a compatible subclass of the unified
+    :class:`repro.resources.ResourceExhausted` taxonomy: legacy
+    ``except AnalysisTimeout`` sites keep working, while the pipeline's
+    degradation ladder catches the whole family at once.
+    """
 
     def __init__(self, budget_seconds: float, iterations: int) -> None:
         super().__init__(
             f"points-to analysis exceeded {budget_seconds:.1f}s "
-            f"after {iterations} worklist iterations"
+            f"after {iterations} worklist iterations",
+            budget=budget_seconds, iterations=iterations,
         )
         self.budget_seconds = budget_seconds
         self.iterations = iterations
@@ -177,6 +187,15 @@ class Solver:
     resolves through :func:`repro.pta.bitset.resolve_backend`).
     ``perf`` optionally receives counters/timers/gauges
     (:class:`repro.perf.PerfRecorder`).
+
+    ``governor`` optionally subjects the solve to a
+    :class:`repro.analysis.governor.ResourceGovernor`: its
+    :meth:`~repro.analysis.governor.ResourceGovernor.check` runs on the
+    timeout stride with the live iteration/object/worklist counts, and
+    may raise any :class:`~repro.resources.ResourceExhausted`.
+    ``phase_label`` names the pipeline phase this solve belongs to
+    (``"main"`` or ``"pre"``) for budget attribution and for filtering
+    ``solve-iteration`` fault injection (:mod:`repro.faults`).
     """
 
     def __init__(
@@ -187,6 +206,8 @@ class Solver:
         timeout_seconds: Optional[float] = None,
         pts_backend: Optional[str] = None,
         perf: Optional[PerfRecorder] = None,
+        governor=None,
+        phase_label: str = "main",
     ) -> None:
         if program.entry is None:
             raise ValueError("program has no entry method")
@@ -194,6 +215,8 @@ class Solver:
         self.selector = selector if selector is not None else ContextInsensitive()
         self.heap_model = heap_model if heap_model is not None else AllocationSiteAbstraction()
         self.timeout_seconds = timeout_seconds
+        self.governor = governor
+        self.phase_label = phase_label
         self.pts_backend = resolve_backend(pts_backend)
         self._use_bits = self.pts_backend == BACKEND_BITSET
         self.perf = perf
@@ -251,6 +274,8 @@ class Solver:
         self._worklist: deque = deque()
         self.iterations = 0
         self.solve_seconds = 0.0
+        self._stride_mask = TIMEOUT_CHECK_STRIDE - 1
+        self._fault_plan = None
         # instrumentation: where the propagation work went
         self.counters: Dict[str, int] = {
             "copy_edges": 0,
@@ -273,12 +298,26 @@ class Solver:
         deadline = None
         if self.timeout_seconds is not None:
             deadline = start + self.timeout_seconds
+        # Resolve the check cadence: the governor or an armed fault plan
+        # may need checks more often than the default stride (e.g. every
+        # pop in tests, where whole solves fit inside one 1024 window).
+        plan = _faults.current_plan()
+        stride = TIMEOUT_CHECK_STRIDE
+        if self.governor is not None:
+            stride = min(stride, self.governor.check_stride)
+        if plan is not None and plan.stride is not None:
+            stride = min(stride, plan.stride)
+        self._stride_mask = stride - 1
+        self._fault_plan = plan
+        scope = (self.governor.ensure_phase(self.phase_label)
+                 if self.governor is not None else nullcontext())
         self._add_reachable(EMPTY_CONTEXT, self.program.entry)
         try:
-            if self._use_bits:
-                self._run_bits(deadline)
-            else:
-                self._run_sets(deadline)
+            with scope:
+                if self._use_bits:
+                    self._run_bits(deadline)
+                else:
+                    self._run_sets(deadline)
         finally:
             self.solve_seconds = time.monotonic() - start
             self._record_perf()
@@ -294,18 +333,34 @@ class Solver:
         succs = self._succs
         meta_by_node = self._meta_by_node
         mask_for = self._filter_masks.mask_for
+        object_class = self._object_class
+        governor = self.governor
+        plan = self._fault_plan
+        phase = self.phase_label
+        stride_mask = self._stride_mask
         iterations = self.iterations
         facts = 0
         # An already-expired budget must raise even if the solve would
         # finish within one stride of the periodic check below.
         if deadline is not None and time.monotonic() > deadline:
             raise AnalysisTimeout(self.timeout_seconds, iterations)
+        if governor is not None:
+            governor.check(iterations=iterations, objects=len(object_class),
+                           worklist=len(worklist))
+        if plan is not None:
+            plan.check_iteration(iterations, phase)
         try:
             while worklist:
                 iterations += 1
-                if not iterations & (TIMEOUT_CHECK_STRIDE - 1):
+                if not iterations & stride_mask:
                     if deadline is not None and time.monotonic() > deadline:
                         raise AnalysisTimeout(self.timeout_seconds, iterations)
+                    if governor is not None:
+                        governor.check(iterations=iterations,
+                                       objects=len(object_class),
+                                       worklist=len(worklist))
+                    if plan is not None:
+                        plan.check_iteration(iterations, phase)
                 node, delta = pop()
                 known = pts[node]
                 # delta & ~known, without materializing the full-width
@@ -341,16 +396,31 @@ class Solver:
         meta_by_node = self._meta_by_node
         is_subtype = self._is_subtype_name
         object_class = self._object_class
+        governor = self.governor
+        plan = self._fault_plan
+        phase = self.phase_label
+        stride_mask = self._stride_mask
         iterations = self.iterations
         facts = 0
         if deadline is not None and time.monotonic() > deadline:
             raise AnalysisTimeout(self.timeout_seconds, iterations)
+        if governor is not None:
+            governor.check(iterations=iterations, objects=len(object_class),
+                           worklist=len(worklist))
+        if plan is not None:
+            plan.check_iteration(iterations, phase)
         try:
             while worklist:
                 iterations += 1
-                if not iterations & (TIMEOUT_CHECK_STRIDE - 1):
+                if not iterations & stride_mask:
                     if deadline is not None and time.monotonic() > deadline:
                         raise AnalysisTimeout(self.timeout_seconds, iterations)
+                    if governor is not None:
+                        governor.check(iterations=iterations,
+                                       objects=len(object_class),
+                                       worklist=len(worklist))
+                    if plan is not None:
+                        plan.check_iteration(iterations, phase)
                 node, delta = pop()
                 known = pts[node]
                 delta = delta - known
@@ -736,7 +806,9 @@ def solve(program: Program, selector: Optional[ContextSelector] = None,
           heap_model: Optional[HeapModel] = None,
           timeout_seconds: Optional[float] = None,
           pts_backend: Optional[str] = None,
-          perf: Optional[PerfRecorder] = None):
+          perf: Optional[PerfRecorder] = None,
+          governor=None, phase_label: str = "main"):
     """Convenience wrapper: build a :class:`Solver` and run it."""
     return Solver(program, selector, heap_model, timeout_seconds,
-                  pts_backend=pts_backend, perf=perf).solve()
+                  pts_backend=pts_backend, perf=perf,
+                  governor=governor, phase_label=phase_label).solve()

@@ -94,3 +94,73 @@ class TestPipeline:
         t_run = run_analysis(tiny_program, "T-ci").metrics()
         ci_run = run_analysis(tiny_program, "ci").metrics()
         assert t_run["abstract_objects"] <= ci_run["abstract_objects"]
+
+
+class TestExhaustionHandling:
+    def test_pre_phase_timeout_is_caught_and_attributed(self, tiny_program):
+        # a zero budget expires inside the ci pre-analysis solve; the
+        # exhaustion must not escape run_analysis as a raw exception
+        run = run_analysis(tiny_program, "M-2obj", timeout_seconds=0.0)
+        assert run.timed_out
+        assert not run.succeeded
+        assert run.failed_phase == "pre"
+        assert run.exhaustion_cause == "time"
+        metrics = run.metrics()
+        assert metrics["failed_phase"] == "pre"
+        assert metrics["attempts"][0]["config"] == "M-2obj"
+
+    def test_normal_run_metrics_carry_no_provenance_keys(self, tiny_program):
+        metrics = run_analysis(tiny_program, "M-2obj").metrics()
+        for key in ("degraded_from", "failed_phase", "exhaustion_cause",
+                    "attempts"):
+            assert key not in metrics
+
+
+class TestDegradationLadder:
+    def test_ladder_off_by_default(self, tiny_program):
+        run = run_analysis(tiny_program, "2obj", timeout_seconds=0.0)
+        assert run.timed_out
+        assert run.degraded_from is None
+
+    def test_pre_timeout_with_ladder_reaches_bottom(self, tiny_program):
+        # a zero wall-clock budget kills every rung, including the
+        # allocation-site fallback and ci: the run stays usable-shaped
+        # (provenance-complete) but timed out
+        run = run_analysis(tiny_program, "M-2obj", timeout_seconds=0.0,
+                           degrade=True)
+        assert run.timed_out
+        assert run.degraded_from == "M-2obj"
+        assert [a.config for a in run.attempts] == [
+            "M-2obj", "2obj", "2type", "ci"]
+        assert all(a.cause == "time" for a in run.attempts)
+
+    def test_explicit_ladder_sequence(self, tiny_program):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec(point="main-boundary", times=1)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, "M-2obj",
+                               degrade="T-2obj,ci")
+        faults.uninstall()
+        assert run.degraded
+        assert run.config.name == "T-2obj"
+        assert run.degraded_from == "M-2obj"
+
+    def test_rescued_run_metrics_are_complete(self, tiny_program):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec(point="main-boundary", times=1)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, "M-3obj", degrade=True)
+        faults.uninstall()
+        assert run.degraded
+        assert not run.timed_out
+        metrics = run.metrics()
+        # the acceptance bar: full client metrics plus provenance
+        for key in ("call_graph_edges", "poly_call_sites", "may_fail_casts",
+                    "abstract_objects", "degraded_from", "attempts"):
+            assert key in metrics
+        assert metrics["degraded_from"] == "M-3obj"
+        assert metrics["analysis"] == "M-2obj"

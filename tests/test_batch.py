@@ -1,0 +1,156 @@
+"""The batch corpus runner: per-program isolation, transient-fault
+retry, and structured failure records."""
+
+import pytest
+
+from repro import faults
+from repro.analysis.governor import PhaseBudget, ResourceGovernor
+from repro.bench.batch import BatchRecord, run_batch
+from repro.faults import FaultPlan, FaultSpec
+from repro.workloads import corpus_names, corpus_program
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    faults.uninstall()
+
+
+def _corpus(*names):
+    return [(name, corpus_program(name)) for name in names]
+
+
+class TestHappyPath:
+    def test_all_ok(self):
+        result = run_batch(_corpus("cache", "iterator"), config="M-2obj")
+        assert [r.status for r in result.records] == ["ok", "ok"]
+        assert result.all_usable
+        assert result.counts() == {"ok": 2}
+        for record in result.records:
+            assert record.metrics["analysis"] == "M-2obj"
+            assert record.retries == 0
+
+    def test_thunks_evaluated_lazily(self):
+        result = run_batch([("cache", lambda: corpus_program("cache"))])
+        assert result.records[0].status == "ok"
+
+    def test_to_dict_round_trips(self):
+        import json
+
+        result = run_batch(_corpus("cache"))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["counts"] == {"ok": 1}
+        assert payload["records"][0]["program"] == "cache"
+
+    def test_render_mentions_totals(self):
+        result = run_batch(_corpus("cache"))
+        assert "1 ok" in result.render()
+
+
+class TestIsolation:
+    def test_loader_crash_is_isolated(self):
+        def explode():
+            raise RuntimeError("generator bug")
+
+        result = run_batch([("bad", explode), *_corpus("cache")])
+        assert [r.status for r in result.records] == ["failed", "ok"]
+        assert "RuntimeError: generator bug" in result.records[0].error
+        assert not result.all_usable
+
+    def test_injected_crash_is_isolated(self):
+        plan = FaultPlan([FaultSpec(point="main-boundary", kind="crash")])
+        with faults.active(plan):
+            result = run_batch(_corpus("cache", "iterator"))
+        # the crash burns its one activation on the first program; the
+        # second completes
+        assert [r.status for r in result.records] == ["failed", "ok"]
+        assert "InjectedCrash" in result.records[0].error
+
+    def test_exhaustion_degrades_instead_of_failing(self):
+        plan = FaultPlan([FaultSpec(point="main-boundary", times=1)])
+        with faults.active(plan):
+            result = run_batch(_corpus("cache"), config="M-2obj")
+        record = result.records[0]
+        assert record.status == "degraded"
+        assert record.usable
+        assert record.degraded_from == "M-2obj"
+        assert record.metrics["analysis"] == "M-2type"
+
+    def test_exhausted_when_ladder_disabled(self):
+        governor_factory = lambda: ResourceGovernor(  # noqa: E731
+            budgets={"main": PhaseBudget(max_iterations=1)}, check_stride=1)
+        result = run_batch(_corpus("cache"), config="2obj", degrade=False,
+                           governor_factory=governor_factory)
+        record = result.records[0]
+        assert record.status == "exhausted"
+        assert not record.usable
+        assert record.exhaustion_cause == "work"
+        assert record.failed_phase == "main"
+
+    def test_fresh_governor_per_program(self):
+        governors = []
+
+        def factory():
+            governor = ResourceGovernor(check_stride=1)
+            governors.append(governor)
+            return governor
+
+        run_batch(_corpus("cache", "iterator"), governor_factory=factory)
+        assert len(governors) == 2
+        assert governors[0] is not governors[1]
+
+
+class TestTransientRetry:
+    def test_transient_fault_retried_once(self):
+        plan = FaultPlan([FaultSpec(point="main-boundary",
+                                    kind="transient", times=1)])
+        with faults.active(plan):
+            result = run_batch(_corpus("cache"), backoff_seconds=0.001)
+        record = result.records[0]
+        assert record.status == "ok"
+        assert record.retries == 1
+
+    def test_persistent_transient_becomes_failure(self):
+        plan = FaultPlan([FaultSpec(point="main-boundary",
+                                    kind="transient", times=-1)])
+        with faults.active(plan):
+            result = run_batch(_corpus("cache"), max_retries=2,
+                               backoff_seconds=0.001)
+        record = result.records[0]
+        assert record.status == "failed"
+        assert record.retries == 2
+        assert "transient fault persisted" in record.error
+
+    def test_batch_continues_after_retry_exhaustion(self):
+        plan = FaultPlan([FaultSpec(point="main-boundary",
+                                    kind="transient", times=3)])
+        with faults.active(plan):
+            result = run_batch(_corpus("cache", "iterator"), max_retries=2,
+                               backoff_seconds=0.001)
+        assert [r.status for r in result.records] == ["failed", "ok"]
+
+
+class TestAcceptance:
+    """ISSUE acceptance: fault injection triggers every degradation path
+    deterministically under a fixed seed while the batch completes."""
+
+    def test_full_corpus_with_faults_completes(self):
+        def outcome():
+            plan = FaultPlan(
+                [FaultSpec(point="merge-boundary", times=1),
+                 FaultSpec(point="main-boundary", times=1),
+                 FaultSpec(point="pre-boundary", kind="transient", times=1)],
+                seed=7)
+            with faults.active(plan):
+                result = run_batch(
+                    _corpus(*corpus_names()), config="M-2obj",
+                    backoff_seconds=0.001, seed=7)
+            return [(r.program, r.status, r.retries, r.degraded_from)
+                    for r in result.records]
+
+        first = outcome()
+        assert first == outcome()
+        assert len(first) == len(corpus_names())
+        statuses = {status for _, status, _, _ in first}
+        assert "degraded" in statuses  # faults bit somewhere
+        assert "failed" not in statuses  # transient was retried

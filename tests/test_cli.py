@@ -54,6 +54,51 @@ def test_generated_file_reanalyzable(tmp_path, capsys):
     assert main(["analyze", str(target), "--analysis", "M-2cs"]) == 0
 
 
+def test_analyze_exhausted_exit_code(figure1_file, capsys):
+    # a fresh fault per rung exhausts the whole ladder: exit code 3
+    # plus a cause+phase diagnostic on stderr
+    assert main(["analyze", figure1_file, "--analysis", "M-2obj",
+                 "--faults", "main-boundary:times=6"]) == 3
+    captured = capsys.readouterr()
+    assert "timed_out: True" in captured.out
+    assert "time budget exhausted in main phase" in captured.err
+
+
+def test_analyze_no_degrade_fails_fast(figure1_file, capsys):
+    assert main(["analyze", figure1_file, "--analysis", "M-2obj",
+                 "--no-degrade", "--faults", "main-boundary"]) == 3
+    captured = capsys.readouterr()
+    assert "tried: M-2obj" in captured.err
+
+
+def test_analyze_degrades_with_warning(figure1_file, capsys):
+    assert main(["analyze", figure1_file, "--analysis", "M-2obj",
+                 "--faults", "main-boundary"]) == 0
+    captured = capsys.readouterr()
+    assert "degraded_from: M-2obj" in captured.out
+    assert "degraded to M-2type" in captured.err
+
+
+def test_analyze_governor_flags(figure1_file, capsys):
+    assert main(["analyze", figure1_file, "--analysis", "2obj",
+                 "--no-degrade", "--max-iterations", "1",
+                 "--check-stride", "1"]) == 3
+    assert "work budget exhausted" in capsys.readouterr().err
+
+
+def test_batch_subcommand_smoke(capsys):
+    assert main(["batch", "--corpus", "cache,iterator",
+                 "--config", "M-2obj"]) == 0
+    out = capsys.readouterr().out
+    assert "totals: 2 ok" in out
+
+
+def test_batch_strict_exit_code(capsys):
+    assert main(["batch", "--corpus", "cache", "--config", "M-2obj",
+                 "--strict", "--faults", "main-boundary:kind=crash"]) == 4
+    assert "1 failed" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["frobnicate"])

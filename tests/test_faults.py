@@ -1,0 +1,329 @@
+"""Deterministic fault injection: every injection point, every fault
+kind, and every degradation path it triggers — on both pts backends."""
+
+import pytest
+
+from repro import faults
+from repro.analysis.pipeline import (
+    coarser_sensitivity,
+    degradation_chain,
+    next_rung,
+    run_analysis,
+    run_pre_analysis,
+)
+from repro.core.fpg import FPGIntegrityError
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedExhaustion,
+    TransientFault,
+)
+from repro.interp import interpret
+from repro.pta.bitset import BACKEND_NAMES
+from repro.resources import TimeBudgetExceeded
+
+from tests.test_soundness_oracle import assert_trace_covered
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test leaves the process-wide plan uninstalled."""
+    yield
+    faults.uninstall()
+
+
+class TestFaultSpecParsing:
+    def test_rejects_unknown_point(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultSpec(point="gc-pause")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(point="main-boundary", kind="explode")
+
+    def test_parse_spec_string(self):
+        plan = FaultPlan.parse(
+            "main-boundary:kind=crash,solve-iteration:at=64:times=2")
+        assert plan.specs["main-boundary"].kind == "crash"
+        assert plan.specs["solve-iteration"].at == 64
+        assert plan.specs["solve-iteration"].times == 2
+
+    def test_parse_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan.parse("main-boundary,main-boundary")
+
+    def test_parse_rejects_malformed_field(self):
+        with pytest.raises(ValueError, match="malformed fault field"):
+            FaultPlan.parse("main-boundary:kind")
+
+    def test_stride_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            FaultPlan([], stride=3)
+
+    def test_from_env(self):
+        environ = {"REPRO_FAULTS": "merge-boundary:times=2",
+                   "REPRO_FAULTS_SEED": "7"}
+        plan = FaultPlan.from_env(environ)
+        assert plan.specs["merge-boundary"].times == 2
+        assert plan.seed == 7
+        assert plan.stride == 1
+        assert FaultPlan.from_env({}) is None
+
+
+class TestFiringSemantics:
+    def test_times_limits_activations(self):
+        plan = FaultPlan([FaultSpec(point="main-boundary", times=2)])
+        for _ in range(2):
+            with pytest.raises(InjectedExhaustion):
+                plan.fire("main-boundary")
+        plan.fire("main-boundary")  # quiet now
+        assert plan.remaining("main-boundary") == 0
+
+    def test_unlimited_with_negative_times(self):
+        plan = FaultPlan([FaultSpec(point="main-boundary", times=-1)])
+        for _ in range(5):
+            with pytest.raises(InjectedExhaustion):
+                plan.fire("main-boundary")
+        assert plan.remaining("main-boundary") == -1
+
+    def test_unarmed_points_are_noops(self):
+        plan = FaultPlan([])
+        plan.fire("main-boundary")
+        plan.check_iteration(10**6)
+        assert plan.spike_bytes() == 0
+
+    def test_kinds_raise_their_exception(self):
+        for kind, exc_type in (("exhaust", InjectedExhaustion),
+                               ("transient", TransientFault),
+                               ("crash", InjectedCrash)):
+            plan = FaultPlan([FaultSpec(point="pre-boundary", kind=kind)])
+            with pytest.raises(exc_type) as info:
+                plan.fire("pre-boundary", phase="pre")
+            assert info.value.point == "pre-boundary"
+            assert info.value.phase == "pre"
+
+    def test_injected_exhaustion_is_budget_expiry(self):
+        assert issubclass(InjectedExhaustion, TimeBudgetExceeded)
+
+    def test_probability_is_seed_deterministic(self):
+        def firings(seed):
+            plan = FaultPlan(
+                [FaultSpec(point="main-boundary", times=-1, probability=0.5)],
+                seed=seed)
+            fired = []
+            for i in range(32):
+                try:
+                    plan.fire("main-boundary")
+                    fired.append(False)
+                except InjectedExhaustion:
+                    fired.append(True)
+            return fired
+
+        assert firings(1) == firings(1)
+        assert firings(1) != firings(2)
+        assert any(firings(1)) and not all(firings(1))
+
+    def test_check_iteration_honors_at_and_phase(self):
+        plan = FaultPlan([FaultSpec(point="solve-iteration", at=10,
+                                    phase="main")])
+        plan.check_iteration(9, phase="main")       # below threshold
+        plan.check_iteration(10, phase="pre")       # wrong phase
+        with pytest.raises(InjectedExhaustion) as info:
+            plan.check_iteration(10, phase="main")
+        assert info.value.iterations == 10
+
+    def test_log_records_firings(self):
+        plan = FaultPlan([FaultSpec(point="memory-spike", bytes=123)])
+        assert plan.spike_bytes() == 123
+        assert plan.log == [("memory-spike", "bytes=123")]
+
+
+class TestActivation:
+    def test_active_scopes_and_restores(self):
+        outer = FaultPlan([])
+        faults.install(outer)
+        inner = FaultPlan([])
+        with faults.active(inner):
+            assert faults.current_plan() is inner
+        assert faults.current_plan() is outer
+
+    def test_env_plan_keeps_state_across_queries(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "main-boundary:times=1")
+        first = faults.current_plan()
+        assert first is faults.current_plan()  # memoized, not re-parsed
+        with pytest.raises(InjectedExhaustion):
+            first.fire("main-boundary")
+        # the one activation is spent process-wide
+        faults.current_plan().fire("main-boundary")
+
+    def test_env_change_invalidates_memo(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "main-boundary")
+        first = faults.current_plan()
+        monkeypatch.setenv("REPRO_FAULTS", "pre-boundary")
+        second = faults.current_plan()
+        assert second is not first
+        assert "pre-boundary" in second.specs
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+class TestDegradationPaths:
+    """Every injection point triggers its degradation path, and the
+    rescued result stays sound."""
+
+    def test_main_boundary_steps_down_ladder(self, tiny_program, backend):
+        plan = FaultPlan([FaultSpec(point="main-boundary", times=1)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, f"M-2obj@{backend}",
+                               degrade=True)
+        assert run.degraded
+        assert run.degraded_from == f"M-2obj@{backend}"
+        assert run.config.name == f"M-2type@{backend}"
+        assert [a.config for a in run.attempts] == [
+            f"M-2obj@{backend}", f"M-2type@{backend}"]
+        assert run.attempts[0].cause == "time"
+        assert not run.attempts[1].cause
+
+    def test_merge_boundary_drops_mahjong_heap(self, tiny_program, backend):
+        plan = FaultPlan([FaultSpec(point="merge-boundary", times=1)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, f"M-2obj@{backend}",
+                               degrade=True)
+        assert run.degraded
+        # pre-phase exhaustion keeps the sensitivity, drops "M-"
+        assert run.config.name == f"2obj@{backend}"
+        assert run.attempts[0].phase == "merge"
+
+    @pytest.mark.parametrize("point,phase", [("pre-boundary", "pre"),
+                                             ("fpg-boundary", "fpg")])
+    def test_pre_and_fpg_boundaries(self, tiny_program, backend, point,
+                                    phase):
+        plan = FaultPlan([FaultSpec(point=point, times=1)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, f"M-2obj@{backend}",
+                               degrade=True)
+        assert run.degraded
+        assert run.config.name == f"2obj@{backend}"
+        assert run.attempts[0].phase == phase
+
+    def test_solve_iteration_fault(self, tiny_program, backend):
+        plan = FaultPlan(
+            [FaultSpec(point="solve-iteration", at=2, phase="main")],
+            stride=1)
+        with faults.active(plan):
+            run = run_analysis(tiny_program, f"2obj@{backend}",
+                               degrade=True)
+        assert run.degraded
+        assert run.attempts[0].cause == "time"
+        assert "solve-iteration" in run.attempts[0].detail
+
+    def test_memory_spike_fault(self, tiny_program, backend):
+        from repro.analysis.governor import ResourceGovernor
+
+        plan = FaultPlan([FaultSpec(point="memory-spike", times=1)])
+        governor = ResourceGovernor.from_limits(memory_mb=1 << 14,
+                                                check_stride=1)
+        with faults.active(plan):
+            run = run_analysis(tiny_program, f"2obj@{backend}",
+                               governor=governor, degrade=True)
+        # the 1 TiB spike blows the 16 GiB budget exactly once
+        assert run.degraded
+        assert run.attempts[0].cause == "memory"
+
+    def test_fpg_corrupt_detected_and_rescued(self, tiny_program, backend):
+        plan = FaultPlan([FaultSpec(point="fpg-corrupt", times=1)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, f"M-2obj@{backend}",
+                               degrade=True)
+        assert run.degraded
+        assert run.config.name == f"2obj@{backend}"
+        assert run.attempts[0].cause == "corrupt"
+        assert run.attempts[0].phase == "fpg"
+
+    def test_fpg_corrupt_raises_without_ladder(self, tiny_program, backend):
+        plan = FaultPlan([FaultSpec(point="fpg-corrupt", times=1)])
+        with faults.active(plan):
+            with pytest.raises(FPGIntegrityError):
+                run_pre_analysis(tiny_program, pts_backend=backend)
+
+    def test_exhaust_every_rung(self, tiny_program, backend):
+        # enough activations to burn M-3obj and the whole chain below it
+        chain_length = 1 + len(degradation_chain("M-3obj"))
+        plan = FaultPlan([FaultSpec(point="main-boundary",
+                                    times=chain_length)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, "M-3obj",
+                               pts_backend=backend, degrade=True)
+        assert run.timed_out
+        assert not run.succeeded
+        assert run.degraded_from == "M-3obj"
+        assert [a.config for a in run.attempts] == [
+            "M-3obj", "M-2obj", "M-2type", "ci"]
+
+    def test_transient_and_crash_escape_the_ladder(self, tiny_program,
+                                                   backend):
+        for kind, exc_type in (("transient", TransientFault),
+                               ("crash", InjectedCrash)):
+            plan = FaultPlan([FaultSpec(point="main-boundary", kind=kind)])
+            with faults.active(plan):
+                with pytest.raises(exc_type):
+                    run_analysis(tiny_program, f"2obj@{backend}",
+                                 degrade=True)
+
+    def test_degraded_result_stays_sound(self, tiny_program, backend):
+        trace = interpret(tiny_program)
+        plan = FaultPlan([FaultSpec(point="main-boundary", times=1)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, f"M-2obj@{backend}",
+                               degrade=True)
+        assert run.degraded
+        assert_trace_covered(tiny_program, trace, run.result)
+
+    def test_determinism_under_fixed_seed(self, tiny_program, backend):
+        def rescued_config():
+            plan = FaultPlan(
+                [FaultSpec(point="main-boundary", times=1),
+                 FaultSpec(point="fpg-corrupt", times=1)],
+                seed=42)
+            with faults.active(plan):
+                run = run_analysis(tiny_program, f"M-2obj@{backend}",
+                                   degrade=True)
+            return run.config.name, [a.config for a in run.attempts], plan.log
+
+        assert rescued_config() == rescued_config()
+
+
+class TestLadderShape:
+    def test_coarser_sensitivity_steps(self):
+        assert coarser_sensitivity("3obj") == "2obj"
+        assert coarser_sensitivity("2obj") == "2type"
+        assert coarser_sensitivity("3type") == "2type"
+        assert coarser_sensitivity("2type") == "ci"
+        assert coarser_sensitivity("3cs") == "2cs"
+        assert coarser_sensitivity("2cs") == "ci"
+        assert coarser_sensitivity("ci") is None
+        assert coarser_sensitivity("weird") is None
+
+    def test_next_rung_main_phase(self):
+        assert next_rung("M-3obj", "main") == "M-2obj"
+        assert next_rung("M-2obj", "main") == "M-2type"
+        assert next_rung("M-2type", "main") == "ci"
+        assert next_rung("T-2obj", "main") == "T-2type"
+        assert next_rung("2obj", "main") == "2type"
+        assert next_rung("ci", "main") is None
+
+    def test_next_rung_pre_phase_drops_heap(self):
+        for phase in ("pre", "fpg", "merge"):
+            assert next_rung("M-2obj", phase) == "2obj"
+        # non-mahjong configs have no pre-analysis to drop
+        assert next_rung("2obj", "pre") == "2type"
+
+    def test_backend_suffix_carried(self):
+        assert next_rung("M-2obj@set", "main") == "M-2type@set"
+        assert next_rung("M-2obj@bitset", "merge") == "2obj@bitset"
+        assert next_rung("M-2type@set", "main") == "ci@set"
+
+    def test_degradation_chain(self):
+        assert degradation_chain("M-3obj") == ["M-2obj", "M-2type", "ci"]
+        assert degradation_chain("2cs") == ["ci"]
+        assert degradation_chain("ci") == []

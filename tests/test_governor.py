@@ -1,0 +1,189 @@
+"""The resource governor: per-phase budgets, the exhaustion taxonomy,
+and solver integration on both points-to-set backends."""
+
+import time
+
+import pytest
+
+from repro.analysis.governor import (
+    PHASES,
+    MemoryBudgetExceeded,
+    PhaseBudget,
+    ResourceExhausted,
+    ResourceGovernor,
+    TimeBudgetExceeded,
+    WorkBudgetExceeded,
+)
+from repro.analysis.pipeline import run_analysis, run_pre_analysis
+from repro.pta.bitset import BACKEND_NAMES
+from repro.pta.solver import AnalysisTimeout, Solver
+from repro.resources import memory_watermark_bytes
+
+
+class TestPhaseBudget:
+    def test_unbounded_by_default(self):
+        assert PhaseBudget().unbounded
+
+    def test_any_axis_makes_it_bounded(self):
+        assert not PhaseBudget(wall_seconds=1.0).unbounded
+        assert not PhaseBudget(memory_bytes=1).unbounded
+        assert not PhaseBudget(max_iterations=1).unbounded
+        assert not PhaseBudget(max_objects=1).unbounded
+        assert not PhaseBudget(max_worklist=1).unbounded
+
+
+class TestGovernorConstruction:
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            ResourceGovernor(budgets={"link": PhaseBudget()})
+
+    def test_rejects_non_power_of_two_stride(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ResourceGovernor(check_stride=3)
+
+    def test_from_limits_applies_default_everywhere(self):
+        governor = ResourceGovernor.from_limits(max_iterations=7,
+                                                memory_mb=1.0)
+        for phase in PHASES:
+            budget = governor._budget_for(phase)
+            assert budget.max_iterations == 7
+            assert budget.memory_bytes == 1 << 20
+
+
+class TestChecks:
+    def test_no_budget_no_raise(self):
+        governor = ResourceGovernor()
+        with governor.phase("main"):
+            governor.check(iterations=10**9)
+
+    def test_wall_clock_budget(self):
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(wall_seconds=0.0)})
+        with pytest.raises(TimeBudgetExceeded) as info:
+            with governor.phase("main"):
+                time.sleep(0.002)
+                governor.check()
+        assert info.value.phase == "main"
+        assert info.value.cause == "time"
+
+    def test_iteration_budget(self):
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(max_iterations=100)})
+        with pytest.raises(WorkBudgetExceeded) as info:
+            with governor.phase("main"):
+                governor.check(iterations=101)
+        assert info.value.observed == 101
+        assert info.value.budget == 100
+
+    def test_object_and_worklist_guards(self):
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(max_objects=5, max_worklist=5)})
+        with governor.phase("main"):
+            governor.check(objects=5, worklist=5)
+            with pytest.raises(WorkBudgetExceeded):
+                governor.check(objects=6)
+            with pytest.raises(WorkBudgetExceeded):
+                governor.check(worklist=6)
+
+    def test_memory_budget_uses_watermark(self):
+        # the process has certainly retained more than one byte
+        assert memory_watermark_bytes() > 1
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(memory_bytes=1)})
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            with governor.phase("main"):
+                governor.check()
+        assert info.value.cause == "memory"
+        assert info.value.observed > 1
+
+    def test_phase_boundary_check_catches_unchecked_phases(self):
+        # fpg/merge have no internal check sites; the budget must still
+        # bite at phase exit
+        governor = ResourceGovernor(
+            budgets={"merge": PhaseBudget(wall_seconds=0.0)})
+        with pytest.raises(TimeBudgetExceeded) as info:
+            with governor.phase("merge"):
+                time.sleep(0.002)
+        assert info.value.phase == "merge"
+
+    def test_exhaustion_is_phase_attributed(self):
+        governor = ResourceGovernor(
+            default=PhaseBudget(max_iterations=1))
+        with pytest.raises(ResourceExhausted) as info:
+            with governor.phase("pre"):
+                governor.check(iterations=2)
+        assert info.value.phase == "pre"
+
+    def test_report_accumulates_per_phase(self):
+        # iteration peaks are recorded only for budgeted phases (the
+        # check early-outs otherwise), so give main a loose budget
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(max_iterations=10**9)})
+        with governor.phase("pre"):
+            pass
+        with governor.phase("main"):
+            governor.check(iterations=42)
+        report = governor.report()
+        assert set(report) == {"pre", "main"}
+        assert report["main"]["iterations"] == 42
+        assert report["pre"]["seconds"] >= 0.0
+
+
+class TestTaxonomy:
+    def test_resource_tags(self):
+        assert TimeBudgetExceeded("t").resource == "time"
+        assert MemoryBudgetExceeded("m").resource == "memory"
+        assert WorkBudgetExceeded("w").resource == "work"
+
+    def test_all_are_resource_exhausted(self):
+        for cls in (TimeBudgetExceeded, MemoryBudgetExceeded,
+                    WorkBudgetExceeded):
+            assert issubclass(cls, ResourceExhausted)
+
+    def test_analysis_timeout_is_compatible_subclass(self):
+        exc = AnalysisTimeout(1.5, 2048)
+        assert isinstance(exc, TimeBudgetExceeded)
+        # the legacy attributes survive
+        assert exc.budget_seconds == 1.5
+        assert exc.iterations == 2048
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+class TestSolverIntegration:
+    def test_iteration_budget_stops_solver(self, tiny_program, backend):
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(max_iterations=4)},
+            check_stride=1)
+        with pytest.raises(WorkBudgetExceeded) as info:
+            Solver(tiny_program, pts_backend=backend,
+                   governor=governor).solve()
+        assert info.value.phase == "main"
+        assert info.value.iterations >= 4
+
+    def test_unbudgeted_solver_completes(self, tiny_program, backend):
+        governor = ResourceGovernor(check_stride=1)
+        result = Solver(tiny_program, pts_backend=backend,
+                        governor=governor).solve()
+        assert result.object_count > 0
+
+    def test_pre_analysis_budget_attributed_to_pre(self, tiny_program,
+                                                   backend):
+        governor = ResourceGovernor(
+            budgets={"pre": PhaseBudget(max_iterations=2)},
+            check_stride=1)
+        with pytest.raises(WorkBudgetExceeded) as info:
+            run_pre_analysis(tiny_program, pts_backend=backend,
+                             governor=governor)
+        assert info.value.phase == "pre"
+
+    def test_run_analysis_absorbs_governor_exhaustion(self, tiny_program,
+                                                      backend):
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(max_iterations=2)},
+            check_stride=1)
+        run = run_analysis(tiny_program, "2obj", pts_backend=backend,
+                           governor=governor)
+        assert run.timed_out
+        assert run.result is None
+        assert run.failed_phase == "main"
+        assert run.exhaustion_cause == "work"
