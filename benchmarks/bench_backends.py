@@ -42,7 +42,8 @@ def test_propagation_replay(benchmark, profile, backend):
     from repro.bench.backends import _replay_bits, _replay_sets
 
     program = program_for(profile)
-    solver = Solver(program, selector_for("ci"), pts_backend=BACKEND_BITSET)
+    solver = Solver(program, selector_for("ci"), pts_backend=BACKEND_BITSET,
+                    scc=False)
     solver.solve()
     seeds = solver.propagation_seeds()
     succs = solver._succs

@@ -1,0 +1,64 @@
+"""Constraint-graph condensation benchmarks: SCC on vs off.
+
+Mirrors ``python -m repro.bench scc`` under pytest-benchmark: full
+solves of the cycle-heavy ``cycles`` stressor and the mostly-acyclic
+``luindex`` control under each switch position, plus the detection
+pass alone (one Tarjan sweep over a solved constraint graph).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scc import measure_scc_ab
+from repro.core.disjoint_sets import IntDisjointSets
+from repro.pta.context import selector_for
+from repro.pta.scc import condense_copy_graph
+from repro.pta.solver import Solver
+
+from benchmarks.conftest import program_for
+
+PROFILES = ["cycles", "luindex"]
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("scc", [False, True], ids=["scc-off", "scc-on"])
+def test_full_solve(benchmark, profile, scc):
+    program = program_for(profile, 1.0)
+    benchmark.group = f"scc-solve-{profile}"
+    result = benchmark(lambda: Solver(program, scc=scc).solve())
+    assert result.stats()["scc"] is scc
+    assert result.object_count > 0
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_detection_pass(benchmark, profile):
+    """One full Tarjan sweep over the final (uncondensed) graph — the
+    cost a stride gate pays when the copy subgraph grew."""
+    program = program_for(profile, 1.0)
+    solver = Solver(program, selector_for("ci"), scc=False)
+    solver.solve()
+    succs = solver._succs
+    n = len(succs)
+    benchmark.group = "scc-detection"
+    cycles, order = benchmark(
+        lambda: condense_copy_graph(succs, IntDisjointSets(n))
+    )
+    assert len(order) == n
+    if profile == "cycles":
+        assert cycles
+
+
+@pytest.mark.parametrize("profile", ["cycles"])
+def test_ab_reproduces_facts(benchmark, profile):
+    """The harness's own correctness gate (facts asserted identical
+    inside ``measure_scc_ab``), kept under benchmark so the suite
+    exercises it at bench scale."""
+    program = program_for(profile, 1.0)
+    measurement = benchmark.pedantic(
+        lambda: measure_scc_ab(program, profile, "ci", repeats=1),
+        rounds=1, iterations=1,
+    )
+    assert measurement.facts > 0
+    assert measurement.sccs_collapsed > 0
+    assert measurement.work_ratio > 1.0

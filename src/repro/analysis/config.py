@@ -6,13 +6,16 @@ site) followed by a context-sensitivity name (``ci``, ``2cs``, ``2obj``,
 ``3obj``, ``2type``, ``3type``, ...).  Examples: ``3obj``, ``M-3obj``,
 ``T-2type``, ``M-ci``.
 
-A configuration may additionally pin the solver's points-to-set
-representation with an ``@backend`` suffix — ``3obj@set`` runs the
-baseline 3obj analysis on the legacy ``set[int]`` backend, ``M-3obj``
-(no suffix) uses the process default (bit-vector ints; see
-:mod:`repro.pta.bitset`).  The suffix exists for A/B validation: the
-differential tests and ``repro.bench backends`` run the same
-configuration under both representations and assert/measure.
+A configuration may additionally pin solver internals with ``@`` suffix
+tokens, each either a points-to-set backend name or a constraint-graph
+condensation switch — ``3obj@set`` runs the baseline 3obj analysis on
+the legacy ``set[int]`` backend, ``M-3obj@noscc`` disables cycle
+collapsing (``@scc`` forces it on), ``2obj@set@noscc`` combines both,
+and ``M-3obj`` (no suffix) uses the process defaults (bit-vector ints,
+condensation on; see :mod:`repro.pta.bitset` / :mod:`repro.pta.scc`).
+The suffixes exist for A/B validation: the differential tests and the
+``repro.bench backends`` / ``repro.bench scc`` harnesses run the same
+configuration under both alternatives and assert/measure.
 """
 
 from __future__ import annotations
@@ -24,6 +27,10 @@ from repro.pta.bitset import BACKEND_NAMES
 
 __all__ = ["AnalysisConfig", "parse_config", "PAPER_BASELINES", "PAPER_CONFIGS",
            "BACKEND_NAMES"]
+
+#: Recognized ``@`` condensation tokens (resolved by
+#: :func:`repro.pta.scc.resolve_scc` to on/off).
+_SCC_TOKENS = {"scc": True, "noscc": False}
 
 #: The five baselines the paper evaluates (Section 6.2.1).
 PAPER_BASELINES: Tuple[str, ...] = ("2cs", "2obj", "3obj", "2type", "3type")
@@ -43,6 +50,9 @@ class AnalysisConfig:
     sensitivity: str  # "ci", "2cs", "3obj", ...
     #: points-to-set representation; ``None`` = process default.
     pts_backend: Optional[str] = None
+    #: constraint-graph condensation; ``None`` = process default
+    #: (resolved through :func:`repro.pta.scc.resolve_scc`).
+    scc: Optional[bool] = None
 
     @property
     def needs_pre_analysis(self) -> bool:
@@ -53,23 +63,39 @@ class AnalysisConfig:
 
 
 def parse_config(name: str) -> AnalysisConfig:
-    """Parse a configuration name like ``M-3obj`` or ``3obj@set``.
+    """Parse a configuration name like ``M-3obj``, ``3obj@set`` or
+    ``2obj@set@noscc``.
 
     Raises ``ValueError`` for unknown prefixes, sensitivities, or
-    backend suffixes (the sensitivity grammar is validated by
+    ``@`` suffix tokens (the sensitivity grammar is validated by
     :func:`repro.pta.context.selector_for`).
     """
     from repro.pta.context import selector_for
 
     base = name
     pts_backend: Optional[str] = None
+    scc: Optional[bool] = None
     if "@" in name:
-        base, _, pts_backend = name.partition("@")
-        if pts_backend not in BACKEND_NAMES:
-            raise ValueError(
-                f"unknown points-to backend {pts_backend!r} in {name!r}; "
-                f"known: {', '.join(BACKEND_NAMES)}"
-            )
+        base, *tokens = name.split("@")
+        for token in tokens:
+            if token in BACKEND_NAMES:
+                if pts_backend is not None:
+                    raise ValueError(
+                        f"conflicting backend tokens in {name!r}"
+                    )
+                pts_backend = token
+            elif token in _SCC_TOKENS:
+                if scc is not None:
+                    raise ValueError(
+                        f"conflicting condensation tokens in {name!r}"
+                    )
+                scc = _SCC_TOKENS[token]
+            else:
+                raise ValueError(
+                    f"unknown @-token {token!r} in {name!r}; known: "
+                    f"{', '.join(BACKEND_NAMES)}, "
+                    f"{', '.join(sorted(_SCC_TOKENS))}"
+                )
     heap = "alloc-site"
     sensitivity = base
     if base.startswith("M-"):
@@ -81,4 +107,4 @@ def parse_config(name: str) -> AnalysisConfig:
     # validate eagerly so configuration typos fail before a long solve
     selector_for(sensitivity)
     return AnalysisConfig(name=name, heap=heap, sensitivity=sensitivity,
-                          pts_backend=pts_backend)
+                          pts_backend=pts_backend, scc=scc)

@@ -237,15 +237,18 @@ def run_pre_analysis(
     pts_backend: Optional[str] = None,
     perf: Optional[PerfRecorder] = None,
     governor=None,
+    scc: Optional[bool] = None,
 ) -> PreAnalysisArtifacts:
     """Phases 1–3: ci points-to analysis, FPG construction, MAHJONG.
 
     ``pts_backend`` selects the points-to-set representation for the
-    pre-analysis solve (``None`` = process default); ``perf``
-    optionally collects counters/timers across all three phases;
-    ``governor`` budgets each phase (``pre``/``fpg``/``merge``).
-    Exhaustion raises :class:`~repro.resources.ResourceExhausted` with
-    the phase attributed — :func:`run_analysis` catches it.
+    pre-analysis solve (``None`` = process default); ``scc`` switches
+    its constraint-graph condensation (``None`` = resolve through
+    ``$REPRO_SCC``/default); ``perf`` optionally collects
+    counters/timers across all three phases; ``governor`` budgets each
+    phase (``pre``/``fpg``/``merge``).  Exhaustion raises
+    :class:`~repro.resources.ResourceExhausted` with the phase
+    attributed — :func:`run_analysis` catches it.
     """
     t0 = time.monotonic()
     with _phase_scope(governor, "pre"):
@@ -254,7 +257,8 @@ def run_pre_analysis(
                             AllocationSiteAbstraction(),
                             timeout_seconds=timeout_seconds,
                             pts_backend=pts_backend, perf=perf,
-                            governor=governor, phase_label="pre").solve()
+                            governor=governor, phase_label="pre",
+                            scc=scc).solve()
     t1 = time.monotonic()
     with _phase_scope(governor, "fpg"):
         faults.fire("fpg-boundary", phase="fpg")
@@ -317,11 +321,13 @@ def next_rung(config_name: str, failed_phase: Optional[str]) -> Optional[str]:
     Main-phase exhaustion keeps the heap abstraction and coarsens the
     context sensitivity; pre-analysis exhaustion (``pre``/``fpg``/
     ``merge`` — the MAHJONG machinery itself was the problem) falls back
-    to the allocation-site heap at the same sensitivity.  The
-    ``@backend`` suffix is carried through unchanged.
+    to the allocation-site heap at the same sensitivity.  ``@`` suffix
+    tokens (backend, condensation) are carried through unchanged.
     """
     config = parse_config(config_name)
     suffix = f"@{config.pts_backend}" if config.pts_backend else ""
+    if config.scc is not None:
+        suffix += "@scc" if config.scc else "@noscc"
     if failed_phase in PRE_PHASES and config.heap == "mahjong":
         return config.sensitivity + suffix
     sensitivity = coarser_sensitivity(config.sensitivity)
@@ -369,13 +375,14 @@ def _solve_main(
     pts_backend: Optional[str],
     perf: Optional[PerfRecorder],
     governor,
+    scc: Optional[bool] = None,
 ) -> AnalysisRun:
     """Phase 4 for one configuration; raises on exhaustion."""
     selector = selector_for(config.sensitivity)
     solver = Solver(program, selector, heap_model,
                     timeout_seconds=timeout_seconds,
                     pts_backend=pts_backend, perf=perf,
-                    governor=governor, phase_label="main")
+                    governor=governor, phase_label="main", scc=scc)
     start = time.monotonic()
     with _phase_scope(governor, "main"):
         faults.fire("main-boundary", phase="main")
@@ -397,6 +404,7 @@ def run_analysis(
     perf: Optional[PerfRecorder] = None,
     governor=None,
     degrade: Union[None, bool, str, Sequence[str]] = None,
+    scc: Optional[bool] = None,
 ) -> AnalysisRun:
     """Run a named analysis configuration end to end.
 
@@ -415,6 +423,9 @@ def run_analysis(
     and records ``degraded_from`` plus per-attempt provenance.
     ``pts_backend`` overrides the configuration's ``@backend`` suffix;
     with neither given, the process default representation is used.
+    ``scc`` likewise overrides the ``@scc``/``@noscc`` suffix for both
+    the pre-analysis and main solves (``None`` → suffix → ``$REPRO_SCC``
+    → on).
     """
     ladder = _normalize_degrade(degrade)
     requested = analysis
@@ -425,6 +436,7 @@ def run_analysis(
     while True:
         config = parse_config(current)
         backend = pts_backend if pts_backend is not None else config.pts_backend
+        use_scc = scc if scc is not None else config.scc
         start = time.monotonic()
         try:
             if config.heap == "mahjong":
@@ -433,6 +445,7 @@ def run_analysis(
                         program, merge_options,
                         timeout_seconds=timeout_seconds,
                         pts_backend=backend, perf=perf, governor=governor,
+                        scc=use_scc,
                     )
                 heap_model: HeapModel = shared_pre.abstraction
             elif config.heap == "alloc-type":
@@ -440,7 +453,7 @@ def run_analysis(
             else:
                 heap_model = AllocationSiteAbstraction()
             run = _solve_main(program, config, heap_model, timeout_seconds,
-                              backend, perf, governor)
+                              backend, perf, governor, scc=use_scc)
         except (ResourceExhausted, FPGIntegrityError) as exc:
             seconds = time.monotonic() - start
             phase = getattr(exc, "phase", None) or "main"

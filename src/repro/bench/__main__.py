@@ -6,7 +6,7 @@ import sys
 from typing import Callable, Dict, List
 
 from repro.bench import (ablation, backends, batch, compare, fig8, fig9,
-                         motivating, prestats, report, table1, table2)
+                         motivating, prestats, report, scc, table1, table2)
 
 _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "motivating": motivating.main,
@@ -18,6 +18,7 @@ _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "ablation": ablation.main,
     "compare": compare.main,
     "backends": backends.main,
+    "scc": scc.main,
     "batch": batch.main,
     "report": report.main,
 }

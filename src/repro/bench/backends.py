@@ -147,8 +147,14 @@ def replay_propagation(program: Program, config: str = "ci",
     Raises ``AssertionError`` if either kernel fails to reproduce the
     original solve's final facts — the timings are only comparable when
     the logical work is identical.
+
+    Condensation is pinned off: the replay is a *representation*
+    benchmark over the uncondensed frozen graph (a collapsed graph
+    leaves merged members with empty successor lists, so per-node fact
+    tallies would no longer match the kernels' output).
     """
-    solver = Solver(program, selector_for(config), pts_backend=BACKEND_BITSET)
+    solver = Solver(program, selector_for(config), pts_backend=BACKEND_BITSET,
+                    scc=False)
     solver.solve()
     seeds = solver.propagation_seeds()
     succs = solver._succs

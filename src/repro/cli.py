@@ -53,10 +53,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                                              seed=args.faults_seed, stride=1))
         if args.faults else nullcontext()
     )
+    scc = None if args.scc is None else (args.scc == "on")
     with plan_scope:
         run = run_analysis(program, args.analysis,
                            timeout_seconds=args.budget,
-                           governor=governor, degrade=degrade)
+                           governor=governor, degrade=degrade, scc=scc)
     for key, value in run.metrics().items():
         print(f"{key}: {value}")
     if run.timed_out:
@@ -197,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="deterministic fault-injection spec "
                               "(see repro.faults)")
     analyze.add_argument("--faults-seed", type=int, default=0)
+    analyze.add_argument("--scc", choices=("on", "off"), default=None,
+                         help="constraint-graph condensation (default: "
+                              "@scc/@noscc suffix, then $REPRO_SCC, then on)")
     analyze.set_defaults(func=_cmd_analyze)
 
     merge = sub.add_parser("merge", help="show MAHJONG equivalence classes")

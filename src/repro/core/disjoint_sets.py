@@ -1,11 +1,15 @@
 """Disjoint-set forest (union–find) with union-by-rank and path compression.
 
-Used in two places, exactly as in the paper (Section 5):
+Used in three places:
 
 * Algorithm 1 maintains the growing type-consistency equivalence relation
-  over heap objects;
+  over heap objects (paper, Section 5);
 * Algorithm 4 (Hopcroft–Karp) maintains the would-be-merged DFA state
-  classes during an equivalence test.
+  classes during an equivalence test;
+* the Andersen solver's online cycle elimination collapses copy-edge
+  strongly connected components of the constraint graph into single
+  representative nodes (:mod:`repro.pta.scc`), via the dense int-keyed
+  variant :class:`IntDisjointSets`.
 
 Both heuristics bring the amortized cost of ``union``/``find`` to nearly
 O(1) (inverse Ackermann).  A deliberately naive variant
@@ -17,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Generic, Hashable, Iterable, List, Set, TypeVar
 
-__all__ = ["DisjointSets", "NaiveDisjointSets"]
+__all__ = ["DisjointSets", "IntDisjointSets", "NaiveDisjointSets"]
 
 T = TypeVar("T", bound=Hashable)
 
@@ -82,6 +86,80 @@ class DisjointSets(Generic[T]):
         """All equivalence classes (each a set), in no particular order."""
         by_root: Dict[T, Set[T]] = {}
         for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())
+
+
+class IntDisjointSets:
+    """Union–find over the dense int ids ``0..n-1``, array-backed.
+
+    The generic :class:`DisjointSets` hashes every element through a
+    dict; the solver's constraint-graph condensation does millions of
+    ``find`` calls over interned node ids, so this variant stores the
+    forest in two flat lists and uses iterative path halving.  The
+    ``parent`` list is exposed read-only on purpose: the solver's hot
+    loop peeks ``parent[i] == i`` to skip the ``find`` call for the
+    overwhelmingly common unmerged node.
+    """
+
+    __slots__ = ("parent", "_rank", "merges")
+
+    def __init__(self, size: int = 0) -> None:
+        #: ``parent[i] == i`` ⇔ ``i`` is a representative.  Treat as
+        #: read-only outside this class.
+        self.parent: List[int] = list(range(size))
+        self._rank: List[int] = [0] * size
+        #: Total successful unions performed (0 ⇒ ``find`` is identity).
+        self.merges = 0
+
+    def add(self) -> int:
+        """Append a fresh singleton; returns its id (``len - 1``)."""
+        element = len(self.parent)
+        self.parent.append(element)
+        self._rank.append(0)
+        return element
+
+    def grow(self, size: int) -> None:
+        """Ensure ids ``0..size-1`` exist (as singletons when new)."""
+        while len(self.parent) < size:
+            self.add()
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def find(self, element: int) -> int:
+        """Representative of ``element``'s set (path halving)."""
+        parent = self.parent
+        while parent[element] != element:
+            parent[element] = element = parent[parent[element]]
+        return element
+
+    def union(self, a: int, b: int) -> int:
+        """Unite the sets of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        rank = self._rank
+        if rank[ra] < rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+        self.merges += 1
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def roots(self) -> Iterable[int]:
+        """All current representatives, in ascending id order."""
+        parent = self.parent
+        return (i for i in range(len(parent)) if parent[i] == i)
+
+    def classes(self) -> List[Set[int]]:
+        """All equivalence classes (each a set), in no particular order."""
+        by_root: Dict[int, Set[int]] = {}
+        for element in range(len(self.parent)):
             by_root.setdefault(self.find(element), set()).add(element)
         return list(by_root.values())
 

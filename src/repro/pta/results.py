@@ -39,6 +39,7 @@ class PointsToResult:
         self.selector_name: str = solver.selector.name
         self.heap_model_name: str = solver.heap_model.name
         self.pts_backend: str = solver.pts_backend
+        self.scc: bool = solver.use_scc
         self.solve_seconds: float = solver.solve_seconds
         self.iterations: int = solver.iterations
 
@@ -207,6 +208,7 @@ class PointsToResult:
             "selector": self.selector_name,
             "heap_model": self.heap_model_name,
             "pts_backend": self.pts_backend,
+            "scc": self.scc,
             "solve_seconds": round(self.solve_seconds, 4),
             "iterations": self.iterations,
             "abstract_objects": self.object_count,

@@ -1,0 +1,196 @@
+"""Online cycle elimination for the Andersen constraint graph.
+
+Worklist Andersen solvers waste most of their redundant work inside
+*pointer cycles*: once a cycle of unfiltered copy edges
+``x1 → x2 → … → xk → x1`` forms, every delta entering the cycle is
+re-propagated around it until the members agree — and at fixpoint all
+members provably hold the **same** points-to set (each edge is a ``⊇``
+constraint, so the sets subsume each other transitively).  Collapsing a
+cycle's members into one representative node therefore loses nothing
+and replaces O(k) unions per incoming delta with one.
+
+This module owns the two generic pieces the solver composes:
+
+* the **off-switch registry** (``REPRO_SCC`` environment variable /
+  ``@scc``/``@noscc`` configuration suffix, mirroring how
+  ``REPRO_PTS_BACKEND`` selects the points-to representation), so the
+  uncondensed path stays selectable and permanently tested;
+* :func:`condense_copy_graph` — an **iterative Tarjan** pass over the
+  copy-edge subgraph of the live representatives.  It returns both the
+  multi-member components (the cycles to collapse) and a topological
+  order of the condensation, which the solver uses as *wave
+  priorities*: pops are scheduled source-to-sink so deltas cross the
+  condensed DAG in few passes instead of FIFO churn.
+
+Only **unfiltered** edges participate in detection.  A cast- or
+catch-filtered edge ``x →[T] y`` is not a pointer equivalence — it
+constrains ``pts(y) ⊇ filter_T(pts(x))``, a strict subset in general —
+so filtered edges always survive condensation as real edges between
+representatives (a filtered edge whose endpoints merge becomes the
+trivially-satisfied ``pts(x) ⊇ filter_T(pts(x))`` and is dropped).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle through repro.core
+    from repro.core.disjoint_sets import IntDisjointSets
+
+__all__ = [
+    "SCC_ENV_VAR",
+    "SCC_ON",
+    "SCC_OFF",
+    "default_scc",
+    "set_default_scc",
+    "resolve_scc",
+    "condense_copy_graph",
+]
+
+#: Environment override consulted by :func:`resolve_scc` — lets CI run
+#: the whole suite uncondensed without touching call sites, exactly like
+#: ``REPRO_PTS_BACKEND`` does for the set representation.
+SCC_ENV_VAR = "REPRO_SCC"
+
+SCC_ON = "on"
+SCC_OFF = "off"
+
+#: Accepted spellings for each switch position.
+_TRUTHY = frozenset({SCC_ON, "1", "true", "yes", "scc"})
+_FALSY = frozenset({SCC_OFF, "0", "false", "no", "noscc"})
+
+_default_scc = True
+
+
+def default_scc() -> bool:
+    """The process-wide default for constraint-graph condensation."""
+    return _default_scc
+
+
+def set_default_scc(enabled: bool) -> bool:
+    """Set the process-wide default; returns the previous value."""
+    global _default_scc
+    previous = _default_scc
+    _default_scc = bool(enabled)
+    return previous
+
+
+def resolve_scc(value: Optional[object] = None) -> bool:
+    """Resolve an optional on/off request to a concrete bool.
+
+    Resolution order: explicit ``value`` (bool or ``"on"``/``"off"``
+    style string) → ``$REPRO_SCC`` → the process default (on).  Unknown
+    strings raise eagerly so a configuration typo fails before a long
+    solve.
+    """
+    if value is None:
+        env = os.environ.get(SCC_ENV_VAR)
+        if env is None or not env.strip():
+            return _default_scc
+        value = env
+    if isinstance(value, bool):
+        return value
+    name = str(value).strip().lower()
+    if name in _TRUTHY:
+        return True
+    if name in _FALSY:
+        return False
+    raise ValueError(
+        f"unknown SCC setting {value!r}; known: "
+        f"{SCC_ON}/{SCC_OFF} (or 1/0, true/false, scc/noscc)"
+    )
+
+
+def condense_copy_graph(
+    succs: List[List[Tuple[int, Optional[str]]]],
+    uf: "IntDisjointSets",
+) -> Tuple[List[List[int]], Dict[int, int]]:
+    """One Tarjan pass over the copy-edge subgraph of the live nodes.
+
+    ``succs`` is the solver's adjacency list (``succs[i]`` holds
+    ``(target, filter_class)`` pairs); only entries with
+    ``filter_class is None`` are copy edges.  Targets may be stale
+    (merged in an earlier pass) and are resolved through ``uf.find``;
+    nodes that are not their own representative are skipped entirely.
+
+    Returns ``(cycles, order)``:
+
+    * ``cycles`` — the member lists of every strongly connected
+      component with more than one node (the collapse work list);
+    * ``order`` — a topological index per visited node, **sources
+      first** (0 is popped before 1), with all members of one component
+      sharing their component's index.  Correctness never depends on
+      this order — it only schedules the solver's waves — so staleness
+      after later merges is benign.
+
+    The traversal is fully iterative (explicit stacks); recursion depth
+    is not bounded by component size.
+    """
+    find = uf.find
+    parent = uf.parent
+    n = len(succs)
+    # flat arrays over node ids, not dicts: a pass runs on the solve's
+    # stride gate, so its constant factor is paid repeatedly
+    index = [-1] * n
+    low = [0] * n
+    on_stack = bytearray(n)
+    comp_stack: List[int] = []
+    next_index = 0
+    cycles: List[List[int]] = []
+    emit = [-1] * n
+    emitted = 0
+
+    for start in range(n):
+        if parent[start] != start or index[start] >= 0:
+            continue
+        call: List[List[object]] = [[start, None]]
+        while call:
+            frame = call[-1]
+            node = frame[0]
+            if frame[1] is None:
+                index[node] = low[node] = next_index
+                next_index += 1
+                comp_stack.append(node)
+                on_stack[node] = 1
+                frame[1] = iter(succs[node])
+            descended = False
+            for target, filter_class in frame[1]:
+                if filter_class is not None:
+                    continue
+                succ = target if parent[target] == target else find(target)
+                if succ == node:
+                    continue
+                if index[succ] < 0:
+                    call.append([succ, None])
+                    descended = True
+                    break
+                if on_stack[succ] and index[succ] < low[node]:
+                    low[node] = index[succ]
+            if descended:
+                continue
+            call.pop()
+            if call:
+                caller = call[-1][0]
+                if low[node] < low[caller]:
+                    low[caller] = low[node]
+            if low[node] == index[node]:
+                members: List[int] = []
+                while True:
+                    member = comp_stack.pop()
+                    on_stack[member] = 0
+                    members.append(member)
+                    if member == node:
+                        break
+                for member in members:
+                    emit[member] = emitted
+                emitted += 1
+                if len(members) > 1:
+                    cycles.append(members)
+
+    # Tarjan emits components sinks-first; waves want sources popped
+    # first, so invert the emission index.
+    last = emitted - 1
+    order = {node: last - e
+             for node, e in enumerate(emit) if e >= 0}
+    return cycles, order

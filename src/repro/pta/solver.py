@@ -37,6 +37,18 @@ Design:
   allocation-type) are forced to the empty heap context here, per
   Section 3.6 of the paper.
 
+* **Constraint-graph condensation** (on by default; ``REPRO_SCC=off``
+  or the ``@noscc`` config suffix selects the classic FIFO path): a
+  union-find over pointer nodes collapses strongly connected components
+  of unfiltered copy edges into single representatives
+  (:mod:`repro.pta.scc`), detection piggybacking on the existing
+  1024-pop stride.  The worklist becomes *wave-scheduled* — pending
+  deltas are merged per node and popped in the condensation's
+  topological order, so facts flow source-to-sink instead of churning
+  FIFO-style around cycles.  Node-id-facing accessors resolve through
+  ``find()``, so results, clients, and the MAHJONG automata stages see
+  unchanged semantics.
+
 The solver is deliberately flow-insensitive (statement order in a method
 body is irrelevant), matching the paper's setting.
 """
@@ -47,10 +59,12 @@ import time
 from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro import faults as _faults
 from repro.ir.program import Method, Program
+from repro.pta.scc import condense_copy_graph, resolve_scc
 from repro.resources import TimeBudgetExceeded
 from repro.ir.statements import (
     Cast,
@@ -90,6 +104,14 @@ __all__ = ["Solver", "AnalysisTimeout", "solve", "ObjectDescriptor"]
 #: pop is measurable overhead in the hot loop; a power-of-two stride
 #: makes the gate a single AND.
 TIMEOUT_CHECK_STRIDE = 1024
+
+#: Ceiling (in grown stride gates) of the exponential backoff between
+#: unproductive SCC detection passes — see ``Solver._maybe_collapse``.
+_MAX_COLLAPSE_BACKOFF = 64
+
+#: Wave priority of nodes created since the last detection pass: after
+#: every ranked node (a detection pass never emits this many indices).
+_FRESH_NODE_ORDER = 1 << 60
 
 
 class AnalysisTimeout(TimeBudgetExceeded):
@@ -196,6 +218,10 @@ class Solver:
     ``phase_label`` names the pipeline phase this solve belongs to
     (``"main"`` or ``"pre"``) for budget attribution and for filtering
     ``solve-iteration`` fault injection (:mod:`repro.faults`).
+
+    ``scc`` switches constraint-graph condensation and wave scheduling
+    (``None`` resolves through :func:`repro.pta.scc.resolve_scc`:
+    explicit value → ``$REPRO_SCC`` → on).
     """
 
     def __init__(
@@ -208,6 +234,7 @@ class Solver:
         perf: Optional[PerfRecorder] = None,
         governor=None,
         phase_label: str = "main",
+        scc: Optional[object] = None,
     ) -> None:
         if program.entry is None:
             raise ValueError("program has no entry method")
@@ -219,6 +246,7 @@ class Solver:
         self.phase_label = phase_label
         self.pts_backend = resolve_backend(pts_backend)
         self._use_bits = self.pts_backend == BACKEND_BITSET
+        self.use_scc = resolve_scc(scc)
         self.perf = perf
         self._type_elements = wants_type_elements(self.selector)
         self._ci = isinstance(self.selector, ContextInsensitive)
@@ -276,6 +304,38 @@ class Solver:
         self.solve_seconds = 0.0
         self._stride_mask = TIMEOUT_CHECK_STRIDE - 1
         self._fault_plan = None
+
+        # --- constraint-graph condensation state -----------------------
+        # Union-find over node ids: find(node) is the live representative
+        # every accessor and edge operation resolves through.  With SCC
+        # off no union ever happens, so find is the identity.  (Imported
+        # here, not at module level: repro.core's package __init__ pulls
+        # the automata stack, which imports repro.pta.results → this
+        # module — a cycle at import time but not at construction time.)
+        from repro.core.disjoint_sets import IntDisjointSets
+
+        self._uf = IntDisjointSets()
+        self._find = self._uf.find
+        # Wave scheduling (SCC mode): per-representative merged pending
+        # deltas plus a heap of (topo order, node) pop priorities.
+        self._topo_order: List[int] = []
+        self._pending: Dict[int, object] = {}
+        self._heap: List[Tuple[int, int]] = []
+        # Copy-edge watermark: a detection pass only runs on the stride
+        # when the copy subgraph grew since the previous pass.  On top
+        # of that, unproductive passes back off exponentially: a pass is
+        # O(V+E), so on acyclic-but-growing graphs (deep context
+        # sensitivity keeps adding copy edges that never close a cycle)
+        # rescanning every gate would cost more than FIFO churn saves.
+        self._copy_edges_at_last_pass = 0
+        self._collapse_backoff = 1
+        self._gates_until_pass = 1
+        if self.use_scc:
+            self._push = (self._push_wave_bits if self._use_bits
+                          else self._push_wave_sets)
+        else:
+            self._push = self._push_fifo
+
         # instrumentation: where the propagation work went
         self.counters: Dict[str, int] = {
             "copy_edges": 0,
@@ -284,6 +344,11 @@ class Solver:
             "store_edges": 0,
             "dispatch_attempts": 0,
             "facts_propagated": 0,
+            "scc_passes": 0,
+            "sccs_collapsed": 0,
+            "scc_nodes_merged": 0,
+            "scc_edges_dropped": 0,
+            "propagations_saved": 0,
         }
 
     # ------------------------------------------------------------------
@@ -314,7 +379,17 @@ class Solver:
         self._add_reachable(EMPTY_CONTEXT, self.program.entry)
         try:
             with scope:
-                if self._use_bits:
+                if self.use_scc:
+                    # rank the statically-known topology (and collapse
+                    # any cycles already present) before the first pop —
+                    # waiting for the first stride gate would leave the
+                    # whole first window FIFO-ordered
+                    self._collapse_cycles()
+                    if self._use_bits:
+                        self._run_bits_wave(deadline)
+                    else:
+                        self._run_sets_wave(deadline)
+                elif self._use_bits:
                     self._run_bits(deadline)
                 else:
                     self._run_sets(deadline)
@@ -445,6 +520,339 @@ class Solver:
             self.iterations = iterations
             self.counters["facts_propagated"] += facts
 
+    # ------------------------------------------------------------------
+    # Wave-scheduled fixpoint loops (SCC mode)
+    # ------------------------------------------------------------------
+    def _push_fifo(self, node: int, delta) -> None:
+        self._worklist.append((node, delta))
+
+    def _push_wave_bits(self, node: int, delta: int) -> None:
+        """Merge ``delta`` into the node's pending wave (bitset mode).
+
+        Pushes that land on a node with a pending delta are absorbed
+        into it — exactly the worklist entries a FIFO solver would have
+        popped separately, hence the ``propagations_saved`` counter.
+        """
+        parent = self._uf.parent
+        if parent[node] != node:
+            node = self._find(node)
+        pending = self._pending
+        current = pending.get(node)
+        if current is None:
+            pending[node] = delta
+            heappush(self._heap, (self._topo_order[node], node))
+        else:
+            pending[node] = current | delta
+            self.counters["propagations_saved"] += 1
+
+    def _push_wave_sets(self, node: int, delta) -> None:
+        """Merge ``delta`` into the node's pending wave (set mode).
+
+        The pending set is always owned by the worklist (copied on
+        first push), so callers may pass live views.
+        """
+        parent = self._uf.parent
+        if parent[node] != node:
+            node = self._find(node)
+        pending = self._pending
+        current = pending.get(node)
+        if current is None:
+            pending[node] = set(delta)
+            heappush(self._heap, (self._topo_order[node], node))
+        else:
+            current.update(delta)
+            self.counters["propagations_saved"] += 1
+
+    def _run_bits_wave(self, deadline: Optional[float]) -> None:
+        """Fixpoint loop, bitset backend, condensation + wave order.
+
+        Same delta algebra as :meth:`_run_bits`; differences are (a)
+        pops come from a priority heap keyed by the condensation's
+        topological order with per-node pending-delta merging, and (b)
+        the stride gate additionally runs online cycle detection.
+        Every heap pop — including stale entries whose node was merged
+        away or whose pending was already drained — counts as one
+        iteration, so governor work budgets and fault-injection strides
+        see the same monotone iteration clock as the FIFO loops.
+        """
+        pending = self._pending
+        heap = self._heap
+        pts = self._pts
+        succs = self._succs
+        meta_by_node = self._meta_by_node
+        mask_for = self._filter_masks.mask_for
+        object_class = self._object_class
+        governor = self.governor
+        plan = self._fault_plan
+        phase = self.phase_label
+        stride_mask = self._stride_mask
+        push = self._push
+        find = self._find
+        parent = self._uf.parent
+        iterations = self.iterations
+        facts = 0
+        if deadline is not None and time.monotonic() > deadline:
+            raise AnalysisTimeout(self.timeout_seconds, iterations)
+        if governor is not None:
+            governor.check(iterations=iterations, objects=len(object_class),
+                           worklist=len(pending))
+        if plan is not None:
+            plan.check_iteration(iterations, phase)
+        try:
+            while heap:
+                iterations += 1
+                if not iterations & stride_mask:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise AnalysisTimeout(self.timeout_seconds, iterations)
+                    if governor is not None:
+                        governor.check(iterations=iterations,
+                                       objects=len(object_class),
+                                       worklist=len(pending))
+                    if plan is not None:
+                        plan.check_iteration(iterations, phase)
+                    self._maybe_collapse()
+                node = heappop(heap)[1]
+                if parent[node] != node:
+                    node = find(node)
+                delta = pending.pop(node, 0)
+                if not delta:
+                    continue
+                known = pts[node]
+                common = delta & known
+                if common:
+                    delta ^= common
+                    if not delta:
+                        continue
+                pts[node] = known | delta
+                facts += popcount(delta)
+                for succ, filter_class in succs[node]:
+                    if filter_class is None:
+                        push(succ, delta)
+                    else:
+                        filtered = delta & mask_for(filter_class)
+                        if filtered:
+                            push(succ, filtered)
+                meta = meta_by_node[node]
+                if meta is not None:
+                    if type(meta) is list:
+                        for entry in meta:
+                            self._process_var_delta(entry, delta)
+                    else:
+                        self._process_var_delta(meta, delta)
+        finally:
+            self.iterations = iterations
+            self.counters["facts_propagated"] += facts
+
+    def _run_sets_wave(self, deadline: Optional[float]) -> None:
+        """Fixpoint loop, legacy set backend, condensation + wave order."""
+        pending = self._pending
+        heap = self._heap
+        pts = self._pts
+        succs = self._succs
+        meta_by_node = self._meta_by_node
+        is_subtype = self._is_subtype_name
+        object_class = self._object_class
+        governor = self.governor
+        plan = self._fault_plan
+        phase = self.phase_label
+        stride_mask = self._stride_mask
+        push = self._push
+        find = self._find
+        parent = self._uf.parent
+        iterations = self.iterations
+        facts = 0
+        if deadline is not None and time.monotonic() > deadline:
+            raise AnalysisTimeout(self.timeout_seconds, iterations)
+        if governor is not None:
+            governor.check(iterations=iterations, objects=len(object_class),
+                           worklist=len(pending))
+        if plan is not None:
+            plan.check_iteration(iterations, phase)
+        try:
+            while heap:
+                iterations += 1
+                if not iterations & stride_mask:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise AnalysisTimeout(self.timeout_seconds, iterations)
+                    if governor is not None:
+                        governor.check(iterations=iterations,
+                                       objects=len(object_class),
+                                       worklist=len(pending))
+                    if plan is not None:
+                        plan.check_iteration(iterations, phase)
+                    self._maybe_collapse()
+                node = heappop(heap)[1]
+                if parent[node] != node:
+                    node = find(node)
+                delta = pending.pop(node, None)
+                if not delta:
+                    continue
+                known = pts[node]
+                delta -= known
+                if not delta:
+                    continue
+                known |= delta
+                facts += len(delta)
+                for succ, filter_class in succs[node]:
+                    if filter_class is None:
+                        push(succ, delta)
+                    else:
+                        filtered = {
+                            o for o in delta
+                            if is_subtype(object_class[o], filter_class)
+                        }
+                        if filtered:
+                            push(succ, filtered)
+                meta = meta_by_node[node]
+                if meta is not None:
+                    if type(meta) is list:
+                        for entry in meta:
+                            self._process_var_delta(entry, delta)
+                    else:
+                        self._process_var_delta(meta, delta)
+        finally:
+            self.iterations = iterations
+            self.counters["facts_propagated"] += facts
+
+    # ------------------------------------------------------------------
+    # Online cycle elimination
+    # ------------------------------------------------------------------
+    def _maybe_collapse(self) -> bool:
+        """Run a detection pass if the copy subgraph grew since the last
+        one (called on the stride gate; a pass is O(V+E)).
+
+        Unproductive passes double the number of grown gates skipped
+        before the next one (capped at ``_MAX_COLLAPSE_BACKOFF``);
+        finding a cycle resets the cadence to every gate.  Backoff only
+        defers an optimization — collapse never affects the fixpoint —
+        so correctness is untouched.
+        """
+        if self.counters["copy_edges"] == self._copy_edges_at_last_pass:
+            return False
+        self._gates_until_pass -= 1
+        if self._gates_until_pass > 0:
+            return False
+        collapsed_before = self.counters["sccs_collapsed"]
+        self._collapse_cycles()
+        if self.counters["sccs_collapsed"] > collapsed_before:
+            self._collapse_backoff = 1
+        else:
+            self._collapse_backoff = min(self._collapse_backoff * 2,
+                                         _MAX_COLLAPSE_BACKOFF)
+        self._gates_until_pass = self._collapse_backoff
+        return True
+
+    def _collapse_cycles(self) -> None:
+        """Detect copy-edge SCCs, collapse each into one representative,
+        and refresh the wave priorities.
+
+        For every multi-member component: the members' points-to sets,
+        pending deltas, successor edges, and statement metadata merge
+        into the union-find root; intra-component edges drop (they are
+        trivially satisfied once the members share one set); and the
+        merged set is *reseeded* as a fresh pending delta with the
+        representative's set cleared, so statement processing and the
+        merged successor list observe every object any member knew —
+        members may have diverged mid-propagation, and the reseed is
+        what restores the invariant that a node's meta has seen exactly
+        ``pts(node)``.  Deduplication in ``_add_edge``, the call-graph
+        edge set, and delta subsumption make the replay idempotent.
+        """
+        self._copy_edges_at_last_pass = self.counters["copy_edges"]
+        counters = self.counters
+        counters["scc_passes"] += 1
+        uf = self._uf
+        find = self._find
+        cycles, order = condense_copy_graph(self._succs, uf)
+        topo = self._topo_order
+        for node, position in order.items():
+            topo[node] = position
+        if not cycles:
+            return
+        use_bits = self._use_bits
+        pending = self._pending
+        pts = self._pts
+        succs = self._succs
+        edge_seen = self._edge_seen
+        meta_by_node = self._meta_by_node
+        for members in cycles:
+            # Union first so `find` resolves intra-pass merges (of this
+            # and every other component) while edges are rewritten.
+            root = members[0]
+            for member in members[1:]:
+                root = uf.union(root, member)
+            counters["sccs_collapsed"] += 1
+            counters["scc_nodes_merged"] += len(members) - 1
+        for members in cycles:
+            root = find(members[0])
+            merged: object = 0 if use_bits else set()
+            metas: List[Tuple[Context, Method, str]] = []
+            merged_succs: List[Tuple[int, Optional[str]]] = []
+            merged_seen: Set[Tuple[int, Optional[str]]] = set()
+            for member in members:
+                known = pts[member]
+                if known:
+                    merged |= known
+                queued = pending.pop(member, None)
+                if queued:
+                    merged |= queued
+                meta = meta_by_node[member]
+                if meta is not None:
+                    if type(meta) is list:
+                        metas.extend(meta)
+                    else:
+                        metas.append(meta)
+                for target, filter_class in succs[member]:
+                    resolved = find(target)
+                    if resolved == root:
+                        counters["scc_edges_dropped"] += 1
+                        continue
+                    edge = (resolved, filter_class)
+                    if edge not in merged_seen:
+                        merged_seen.add(edge)
+                        merged_succs.append(edge)
+                pts[member] = 0 if use_bits else set()
+                succs[member] = []
+                edge_seen[member] = set()
+                meta_by_node[member] = None
+            succs[root] = merged_succs
+            edge_seen[root] = merged_seen
+            if metas:
+                meta_by_node[root] = metas if len(metas) > 1 else metas[0]
+            if merged:
+                pending[root] = merged
+                heappush(self._heap, (topo[root], root))
+        # Re-point surviving edges (and their dedup sets) of every live
+        # node at the new representatives, dropping duplicates — keeps
+        # later `_add_edge` dedup exact and pops from chasing stale ids.
+        parent = uf.parent
+        for node in range(len(succs)):
+            if parent[node] != node:
+                continue
+            out = succs[node]
+            if not out:
+                continue
+            rewritten: List[Tuple[int, Optional[str]]] = []
+            seen: Set[Tuple[int, Optional[str]]] = set()
+            changed = False
+            for target, filter_class in out:
+                resolved = target if parent[target] == target else find(target)
+                if resolved != target:
+                    changed = True
+                if resolved == node:
+                    counters["scc_edges_dropped"] += 1
+                    changed = True
+                    continue
+                edge = (resolved, filter_class)
+                if edge in seen:
+                    changed = True
+                    continue
+                seen.add(edge)
+                rewritten.append(edge)
+            if changed:
+                succs[node] = rewritten
+                edge_seen[node] = seen
+
     def _record_perf(self) -> None:
         perf = self.perf
         if perf is None:
@@ -465,8 +873,13 @@ class Solver:
     # Points-to accessors (representation-agnostic; used by results)
     # ------------------------------------------------------------------
     def node_pts_bits(self, node: int) -> int:
-        """The node's points-to set as a bit-vector (any backend)."""
-        pts = self._pts[node]
+        """The node's points-to set as a bit-vector (any backend).
+
+        Node ids resolve through the condensation's ``find()`` — a node
+        merged into a cycle representative reports the representative's
+        set, which is exactly the member's fixpoint set.
+        """
+        pts = self._pts[self._find(node)]
         if self._use_bits:
             return pts
         bits = 0
@@ -476,13 +889,13 @@ class Solver:
 
     def node_pts_ids(self, node: int) -> List[int]:
         """The node's points-to set as a list of object ids."""
-        pts = self._pts[node]
+        pts = self._pts[self._find(node)]
         if self._use_bits:
             return bits_to_list(pts)
         return sorted(pts)
 
     def node_pts_count(self, node: int) -> int:
-        pts = self._pts[node]
+        pts = self._pts[self._find(node)]
         return popcount(pts) if self._use_bits else len(pts)
 
     def _delta_ids(self, delta) -> Iterable[int]:
@@ -510,6 +923,7 @@ class Solver:
         node_ids = self._node_ids
         object_ids = self._object_ids
         heap_model = self.heap_model
+        find = self._find
         for mkey, contexts in self._reachable.items():
             method = self._method_by_id[mkey]
             info = self._method_info[mkey]
@@ -518,6 +932,7 @@ class Solver:
                     node = node_ids.get((0, ctx, id(method), stmt.target))
                     if node is None:
                         continue
+                    node = find(node)
                     key = heap_model.site_key(stmt.site, stmt.class_name)
                     if self._ci or heap_model.is_merged(stmt.site, stmt.class_name):
                         hctx: Context = EMPTY_CONTEXT
@@ -533,7 +948,7 @@ class Solver:
             if var == "this":
                 ids = self.node_pts_ids(node)
                 if ids:
-                    seeds.setdefault(node, set()).update(ids)
+                    seeds.setdefault(find(node), set()).update(ids)
         return seeds
 
     # ------------------------------------------------------------------
@@ -548,6 +963,12 @@ class Solver:
             self._succs.append([])
             self._edge_seen.append(set())
             self._meta_by_node.append(None)
+            self._uf.add()
+            # Until the next detection pass ranks them, new nodes pop
+            # *after* everything already ordered (they are created by
+            # freshly propagated facts, so they sit downstream of the
+            # known topology); ties fall back to creation order.
+            self._topo_order.append(_FRESH_NODE_ORDER)
         return node
 
     def _var_node(self, ctx: Context, method: Method, var: str) -> int:
@@ -631,9 +1052,8 @@ class Solver:
         info = self._method_info[mkey]
         for stmt in info.allocs:
             obj = self._object(stmt.site, stmt.class_name, ctx)
-            self._worklist.append(
-                (self._var_node(ctx, method, stmt.target), self._singleton(obj))
-            )
+            self._push(self._var_node(ctx, method, stmt.target),
+                       self._singleton(obj))
         for stmt in info.copies:
             self._add_edge(
                 self._var_node(ctx, method, stmt.source),
@@ -681,6 +1101,17 @@ class Solver:
     # ------------------------------------------------------------------
     def _add_edge(self, source: int, target: int,
                   filter_class: Optional[str] = None) -> None:
+        if self.use_scc:
+            parent = self._uf.parent
+            if parent[source] != source:
+                source = self._find(source)
+            if parent[target] != target:
+                target = self._find(target)
+            if source == target:
+                # Self-loop on a representative: trivially satisfied
+                # whether filtered or not (``pts ⊇ filter(pts)``).
+                self.counters["scc_edges_dropped"] += 1
+                return
         edge = (target, filter_class)
         seen = self._edge_seen[source]
         if edge in seen:
@@ -695,20 +1126,24 @@ class Solver:
         if existing:
             if filter_class is None:
                 # Bit-vectors are immutable — push as-is; sets must be
-                # copied because the node keeps mutating its own set.
-                payload = existing if self._use_bits else set(existing)
-                self._worklist.append((target, payload))
+                # copied by FIFO push because the node keeps mutating its
+                # own set (the wave push copies on first insert itself).
+                if self._use_bits or self.use_scc:
+                    payload = existing
+                else:
+                    payload = set(existing)
+                self._push(target, payload)
             elif self._use_bits:
                 filtered = existing & self._filter_masks.mask_for(filter_class)
                 if filtered:
-                    self._worklist.append((target, filtered))
+                    self._push(target, filtered)
             else:
                 filtered = {
                     o for o in existing
                     if self._is_subtype_name(self._object_class[o], filter_class)
                 }
                 if filtered:
-                    self._worklist.append((target, filtered))
+                    self._push(target, filtered)
 
     def _process_var_delta(self, meta: Tuple[Context, Method, str],
                            delta) -> None:
@@ -752,9 +1187,8 @@ class Solver:
         )
         # `this` receives exactly this object, unconditionally (cheap,
         # dedups in propagate).
-        self._worklist.append(
-            (self._var_node(callee_ctx, callee, "this"), self._singleton(obj))
-        )
+        self._push(self._var_node(callee_ctx, callee, "this"),
+                   self._singleton(obj))
         edge = (ctx, stmt.call_site, callee_ctx, callee.qualified_name)
         if edge in self._cg_edges_ctx:
             return
@@ -807,8 +1241,10 @@ def solve(program: Program, selector: Optional[ContextSelector] = None,
           timeout_seconds: Optional[float] = None,
           pts_backend: Optional[str] = None,
           perf: Optional[PerfRecorder] = None,
-          governor=None, phase_label: str = "main"):
+          governor=None, phase_label: str = "main",
+          scc: Optional[object] = None):
     """Convenience wrapper: build a :class:`Solver` and run it."""
     return Solver(program, selector, heap_model, timeout_seconds,
                   pts_backend=pts_backend, perf=perf,
-                  governor=governor, phase_label=phase_label).solve()
+                  governor=governor, phase_label=phase_label,
+                  scc=scc).solve()

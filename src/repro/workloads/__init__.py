@@ -4,6 +4,7 @@ plus a hand-written corpus of exactly-reasoned mini-programs."""
 from repro.workloads.corpus import CORPUS, corpus_names, corpus_program
 from repro.workloads.generator import WorkloadSpec, generate
 from repro.workloads.profiles import (
+    CYCLES,
     PROFILE_NAMES,
     PROFILES,
     TINY,
@@ -17,6 +18,7 @@ __all__ = [
     "PROFILES",
     "PROFILE_NAMES",
     "TINY",
+    "CYCLES",
     "profile_spec",
     "load_profile",
     "CORPUS",

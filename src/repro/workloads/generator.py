@@ -21,6 +21,7 @@ from repro.ir.builder import ProgramBuilder
 from repro.ir.program import Program
 from repro.workloads.patterns import (
     PatternWorld,
+    emit_copy_cycles,
     emit_dispatch_kernel,
     emit_factories,
     emit_heterogeneous_boxes,
@@ -52,6 +53,13 @@ class WorkloadSpec:
     #: linked-list groups × sites (cyclic FPGs)
     list_groups: int = 3
     list_sites_per_group: int = 4
+    #: copy-edge cycle stressor (0 chains = off): deep copy chains
+    #: closed into local cycles and joined through shared static hubs —
+    #: the FIFO-churn shape the solver's SCC condensation collapses
+    cycle_chains: int = 0
+    cycle_chain_length: int = 0
+    cycle_size: int = 4
+    cycle_hubs: int = 1
     #: never-initialized objects (null-field classes)
     null_objects: int = 3
     #: dispatch kernel: receiver sites, layer depth, per-layer fanout
@@ -94,6 +102,8 @@ class WorkloadSpec:
             mixed_boxes=scale(self.mixed_boxes),
             list_groups=scale(self.list_groups),
             list_sites_per_group=scale(self.list_sites_per_group),
+            cycle_chains=(scale(self.cycle_chains)
+                          if self.cycle_chains else 0),
             null_objects=scale(self.null_objects),
             unique_records=scale(self.unique_records),
             kernel_receiver_sites=scale(self.kernel_receiver_sites),
@@ -114,6 +124,9 @@ def generate(spec: WorkloadSpec) -> Program:
         emit_heterogeneous_boxes(world, spec.mixed_boxes)
     if spec.list_groups and spec.list_sites_per_group:
         emit_linked_lists(world, spec.list_groups, spec.list_sites_per_group)
+    if spec.cycle_chains and spec.cycle_chain_length:
+        emit_copy_cycles(world, spec.cycle_chains, spec.cycle_chain_length,
+                         cycle_size=spec.cycle_size, hubs=spec.cycle_hubs)
     if spec.null_objects:
         emit_null_field_objects(world, spec.null_objects)
     if spec.kernel_receiver_sites:

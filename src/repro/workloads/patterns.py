@@ -26,6 +26,11 @@ shapes the paper's discussion hinges on:
   layer sites are type-consistent, so MAHJONG collapses the chains.
 * :func:`emit_linked_lists` — cyclic field points-to structure
   (``Node.next → Node``), exercising automata equivalence under cycles.
+* :func:`emit_copy_cycles` — deep *copy-edge* chains that close into
+  cycles through shared static hubs: the pointer-flow-graph shape that
+  makes FIFO Andersen solvers churn (every fact circulates each cycle
+  until fixpoint) and that the solver's constraint-graph condensation
+  (:mod:`repro.pta.scc`) collapses to single nodes.
 * :func:`emit_null_field_objects` — objects whose fields are never
   assigned (Table 1, row 6: separated from their initialized peers).
 * :func:`emit_factories` — subtype factories and polymorphic dispatch
@@ -51,6 +56,7 @@ __all__ = [
     "emit_heterogeneous_boxes",
     "emit_dispatch_kernel",
     "emit_linked_lists",
+    "emit_copy_cycles",
     "emit_null_field_objects",
     "emit_factories",
     "emit_unique_records",
@@ -323,6 +329,69 @@ def emit_linked_lists(world: PatternWorld, groups: int,
                 m.invoke(t, "head", target=m.fresh_var("hh"))
                 m.ret(head)
             world.add_driver(holder, method_name)
+
+
+# ----------------------------------------------------------------------
+# Copy-edge cycles (worklist-churn stressor for cycle elimination)
+# ----------------------------------------------------------------------
+def emit_copy_cycles(world: PatternWorld, chains: int, chain_length: int,
+                     cycle_size: int = 4, hubs: int = 1) -> None:
+    """``chains`` drivers, each a deep chain of plain copies closed into
+    local cycles and threaded through shared static *hub* fields.
+
+    The pointer-flow graph this emits is the pathological FIFO-solver
+    shape: within each driver, every run of ``cycle_size`` chained
+    copies gets a back-edge (``v_i = v_{i+cycle_size-1}``), making a
+    strongly connected run of copy edges; the chain then stores into
+    one of ``hubs`` static fields and reloads from it, so all chains on
+    the same hub join one *global* cycle through the static-field node.
+    Each allocation entering a cycle therefore re-circulates until
+    fixpoint under plain FIFO propagation, while SCC condensation
+    collapses each cycle to one node and propagates once.
+
+    Every chain allocates its own element (one per driver, element type
+    rotating), and ends with a cast + virtual ``tag()`` call so cast
+    precision and devirtualization stay observable across the hubs'
+    mixed contents.  All structure is deterministic in the knobs; the
+    rng is not consulted.
+    """
+    if chains <= 0 or chain_length <= 0:
+        return
+    b = world.builder
+    cycle_size = max(2, cycle_size)
+    hub_fields: List[Tuple[str, str]] = []
+    hub_class = world.unique("CycleHub")
+    b.add_class(hub_class)
+    for h in range(max(1, hubs)):
+        field_name = f"slot{h}"
+        b.add_field(hub_class, field_name, "Elem", is_static=True)
+        hub_fields.append((hub_class, field_name))
+    holder = world.unique("CycleModule")
+    b.add_class(holder)
+    for c in range(chains):
+        element = (world.element_classes[c % len(world.element_classes)]
+                   if world.element_classes else "Elem")
+        hub_cls, hub_field = hub_fields[c % len(hub_fields)]
+        method_name = f"cyc{c}"
+        with b.method(holder, method_name, static=True) as m:
+            head = m.new(element)
+            links = [head]
+            for i in range(chain_length):
+                links.append(m.copy(m.fresh_var("v"), links[-1]))
+                # close every `cycle_size`-long run into a copy cycle
+                if (i + 1) % cycle_size == 0:
+                    m.copy(links[-cycle_size], links[-1])
+            # thread the chain through the shared hub: store the tail,
+            # reload it, and keep copying — all chains on this hub now
+            # sit on one cycle through the static-field node
+            m.static_store(hub_cls, hub_field, links[-1])
+            reloaded = m.static_load(hub_cls, hub_field,
+                                     target=m.fresh_var("h"))
+            m.copy(links[0], reloaded)
+            cast = m.cast(element, reloaded)
+            m.invoke(cast, "tag", target=m.fresh_var("tr"))
+            m.ret(links[-1])
+        world.add_driver(holder, method_name)
 
 
 # ----------------------------------------------------------------------

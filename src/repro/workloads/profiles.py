@@ -25,7 +25,8 @@ from typing import Dict, List
 from repro.ir.program import Program
 from repro.workloads.generator import WorkloadSpec, generate
 
-__all__ = ["PROFILES", "PROFILE_NAMES", "profile_spec", "load_profile", "TINY"]
+__all__ = ["PROFILES", "PROFILE_NAMES", "profile_spec", "load_profile",
+           "TINY", "CYCLES"]
 
 
 def _spec(name: str, seed: int, **kwargs) -> WorkloadSpec:
@@ -39,6 +40,19 @@ TINY = _spec(
     list_groups=1, list_sites_per_group=2, null_objects=1,
     kernel_receiver_sites=2, kernel_depth=2, kernel_fanout=2,
     factory_subtypes=2, poly_call_sites=2,
+)
+
+#: Copy-cycle-heavy stressor (not one of the paper's 12): deep copy
+#: chains closed into cycles through shared static hubs, the shape the
+#: solver's constraint-graph condensation targets.  Used by the
+#: ``repro bench scc`` A/B harness and the SCC regression tests.
+CYCLES = _spec(
+    "cycles", seed=61,
+    element_classes=6, box_groups=2, box_sites_per_group=3, mixed_boxes=2,
+    list_groups=1, list_sites_per_group=2, null_objects=1,
+    cycle_chains=24, cycle_chain_length=40, cycle_size=5, cycle_hubs=3,
+    kernel_receiver_sites=4, kernel_depth=3, kernel_fanout=2,
+    factory_subtypes=3, poly_call_sites=4,
 )
 
 PROFILES: Dict[str, WorkloadSpec] = {
@@ -161,15 +175,19 @@ PROFILE_NAMES: List[str] = list(PROFILES)
 
 
 def profile_spec(name: str, scale: float = 1.0) -> WorkloadSpec:
-    """The (possibly scaled) spec of a named profile; ``tiny`` included."""
+    """The (possibly scaled) spec of a named profile; the out-of-suite
+    ``tiny`` and ``cycles`` specs included."""
     if name == "tiny":
         spec = TINY
+    elif name == "cycles":
+        spec = CYCLES
     else:
         try:
             spec = PROFILES[name]
         except KeyError:
             raise ValueError(
-                f"unknown profile {name!r}; known: tiny, {', '.join(PROFILES)}"
+                f"unknown profile {name!r}; known: tiny, cycles, "
+                f"{', '.join(PROFILES)}"
             ) from None
     return spec if scale == 1.0 else spec.scaled(scale)
 

@@ -31,11 +31,23 @@ class TestSolverCounters:
     def test_counters_present_and_consistent(self, tiny_program):
         from repro.pta import solve
 
-        result = solve(tiny_program)
+        # pinned to the uncondensed solver: under SCC condensation a
+        # collapse pass reseeds whole merged points-to sets through the
+        # worklist, so facts-propagated ≥ pts-facts is only a FIFO-loop
+        # invariant
+        result = solve(tiny_program, scc=False)
         stats = result.stats()
         assert stats["count_facts_propagated"] >= stats["pts_facts"]
         assert stats["count_copy_edges"] > 0
         assert stats["count_dispatch_attempts"] > 0
+
+    def test_condensed_solve_same_facts(self, tiny_program):
+        from repro.pta import solve
+
+        condensed = solve(tiny_program, scc=True).stats()
+        plain = solve(tiny_program, scc=False).stats()
+        assert condensed["pts_facts"] == plain["pts_facts"]
+        assert condensed["scc"] is True and plain["scc"] is False
 
     def test_merged_heap_does_less_work(self, tiny_program):
         from repro.analysis import run_analysis, run_pre_analysis

@@ -1,0 +1,376 @@
+"""Constraint-graph condensation: unit and regression tests.
+
+Covers the dense union-find (:class:`repro.core.disjoint_sets.
+IntDisjointSets`), the Tarjan condensation pass
+(:func:`repro.pta.scc.condense_copy_graph`), the on/off registry
+(``REPRO_SCC`` / ``@scc``/``@noscc`` suffixes), collapse behavior inside
+the solver, and the satellite regression: governor work-guard and
+fault-injection stride accounting must stay exact after node merges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.analysis import run_analysis
+from repro.analysis.config import parse_config
+from repro.analysis.governor import ResourceGovernor
+from repro.analysis.pipeline import next_rung
+from repro.core.disjoint_sets import IntDisjointSets
+from repro.pta.bitset import BACKEND_BITSET, BACKEND_SET
+from repro.pta.scc import condense_copy_graph, resolve_scc, set_default_scc
+from repro.pta.solver import Solver
+from repro.resources import ResourceExhausted, WorkBudgetExceeded
+from repro.workloads import CYCLES, WorkloadSpec, generate, load_profile
+
+
+@pytest.fixture(scope="module")
+def cycles_program():
+    """A small but genuinely cycle-heavy program (shared static hubs)."""
+    return generate(CYCLES.scaled(0.5))
+
+
+# ----------------------------------------------------------------------
+# IntDisjointSets
+# ----------------------------------------------------------------------
+class TestIntDisjointSets:
+    def test_add_and_find_identity(self):
+        uf = IntDisjointSets()
+        assert uf.add() == 0
+        assert uf.add() == 1
+        assert len(uf) == 2
+        assert uf.find(0) == 0
+        assert uf.find(1) == 1
+        assert uf.merges == 0
+
+    def test_union_and_connectivity(self):
+        uf = IntDisjointSets(5)
+        root = uf.union(0, 1)
+        assert root in (0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.merges == 1
+        # idempotent union does not count as a merge
+        assert uf.union(0, 1) == root
+        assert uf.merges == 1
+
+    def test_parent_peek_matches_find(self):
+        """The hot loop peeks ``parent[i] == i`` instead of calling
+        ``find`` — the peek must agree with ``find`` on liveness."""
+        uf = IntDisjointSets(8)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(5, 6)
+        for i in range(8):
+            assert (uf.parent[i] == i) == (uf.find(i) == i)
+
+    def test_path_halving_flattens(self):
+        uf = IntDisjointSets(64)
+        for i in range(63):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(64))
+        # after the finds above, every chain is (near-)flat
+        assert all(uf.parent[uf.parent[i]] == root for i in range(64))
+
+    def test_grow_roots_classes(self):
+        uf = IntDisjointSets()
+        uf.grow(4)
+        assert len(uf) == 4
+        uf.grow(2)  # never shrinks
+        assert len(uf) == 4
+        uf.union(0, 3)
+        roots = set(uf.roots())
+        assert len(roots) == 3
+        classes = {frozenset(c) for c in uf.classes()}
+        assert frozenset({0, 3}) in classes
+
+    def test_matches_generic_oracle(self):
+        from repro.core.disjoint_sets import DisjointSets
+
+        import random
+
+        rng = random.Random(99)
+        uf = IntDisjointSets(32)
+        oracle = DisjointSets(range(32))
+        for _ in range(100):
+            a, b = rng.randrange(32), rng.randrange(32)
+            uf.union(a, b)
+            oracle.union(a, b)
+            c, d = rng.randrange(32), rng.randrange(32)
+            assert uf.connected(c, d) == oracle.connected(c, d)
+
+
+# ----------------------------------------------------------------------
+# condense_copy_graph
+# ----------------------------------------------------------------------
+class TestCondenseCopyGraph:
+    def _graph(self, n, edges):
+        succs = [[] for _ in range(n)]
+        for src, dst, *filt in edges:
+            succs[src].append((dst, filt[0] if filt else None))
+        return succs
+
+    def test_finds_simple_cycle(self):
+        succs = self._graph(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        cycles, order = condense_copy_graph(succs, IntDisjointSets(4))
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == [0, 1, 2]
+        # sources pop before sinks, and cycle members share one index
+        assert order[0] == order[1] == order[2]
+        assert order[0] < order[3]
+
+    def test_filtered_edges_do_not_close_cycles(self):
+        """A cast-filtered edge is not a pointer equivalence."""
+        succs = self._graph(3, [(0, 1), (1, 2), (2, 0, "T")])
+        cycles, _ = condense_copy_graph(succs, IntDisjointSets(3))
+        assert cycles == []
+
+    def test_merged_nodes_skipped_and_targets_resolved(self):
+        uf = IntDisjointSets(5)
+        rep = uf.union(0, 1)
+        stale = 1 if rep == 0 else 0
+        # the edge 2 → stale must resolve to the rep, closing the
+        # 3-cycle {rep, 2, 3}; the stale id itself is never visited
+        succs = self._graph(5, [(2, stale), (rep, 3), (3, 2)])
+        cycles, order = condense_copy_graph(succs, uf)
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == sorted([rep, 2, 3])
+        assert stale not in order  # dead ids are never visited
+
+    def test_two_disjoint_cycles_topological(self):
+        succs = self._graph(
+            6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3), (4, 5)]
+        )
+        cycles, order = condense_copy_graph(succs, IntDisjointSets(6))
+        assert {frozenset(c) for c in cycles} == {
+            frozenset({0, 1}), frozenset({3, 4})
+        }
+        # upstream cycle before midpoint before downstream cycle
+        assert order[0] < order[2] < order[3] < order[5]
+
+    def test_self_loop_is_not_a_cycle(self):
+        succs = self._graph(2, [(0, 0), (0, 1)])
+        cycles, _ = condense_copy_graph(succs, IntDisjointSets(2))
+        assert cycles == []
+
+    def test_deep_chain_no_recursion_limit(self):
+        n = 5000  # far beyond the default Python recursion limit
+        edges = [(i, i + 1) for i in range(n - 1)] + [(n - 1, 0)]
+        cycles, _ = condense_copy_graph(self._graph(n, edges),
+                                        IntDisjointSets(n))
+        assert len(cycles) == 1
+        assert len(cycles[0]) == n
+
+
+# ----------------------------------------------------------------------
+# The on/off registry
+# ----------------------------------------------------------------------
+class TestResolveScc:
+    def test_explicit_values(self):
+        assert resolve_scc(True) is True
+        assert resolve_scc(False) is False
+        assert resolve_scc("on") is True
+        assert resolve_scc("off") is False
+        assert resolve_scc("noscc") is False
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCC", "off")
+        assert resolve_scc() is False
+        monkeypatch.setenv("REPRO_SCC", "on")
+        assert resolve_scc() is True
+        monkeypatch.delenv("REPRO_SCC")
+        assert resolve_scc() is True  # process default
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCC", "off")
+        assert resolve_scc(True) is True
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(ValueError):
+            resolve_scc("sometimes")
+
+    def test_set_default(self):
+        previous = set_default_scc(False)
+        try:
+            assert resolve_scc() is False
+        finally:
+            set_default_scc(previous)
+
+    def test_config_suffix_parsing(self):
+        assert parse_config("2obj").scc is None
+        assert parse_config("2obj@scc").scc is True
+        assert parse_config("M-2obj@noscc").scc is False
+        combined = parse_config("2obj@set@noscc")
+        assert combined.pts_backend == BACKEND_SET
+        assert combined.scc is False
+        with pytest.raises(ValueError):
+            parse_config("2obj@scc@noscc")
+        with pytest.raises(ValueError):
+            parse_config("2obj@maybe")
+
+    def test_next_rung_carries_scc_suffix(self):
+        assert next_rung("M-3obj@noscc", "main") == "M-2obj@noscc"
+        assert next_rung("M-2obj@set@noscc", "pre") == "2obj@set@noscc"
+
+    def test_suffix_reaches_solver(self, figure1_program, monkeypatch):
+        monkeypatch.delenv("REPRO_SCC", raising=False)
+        assert run_analysis(figure1_program, "2obj@noscc").result.stats()[
+            "scc"] is False
+        assert run_analysis(figure1_program, "2obj").result.stats()[
+            "scc"] is True
+
+    def test_env_reaches_solver(self, figure1_program, monkeypatch):
+        monkeypatch.setenv("REPRO_SCC", "off")
+        assert Solver(figure1_program).solve().stats()["scc"] is False
+
+
+# ----------------------------------------------------------------------
+# Collapse behavior inside the solver
+# ----------------------------------------------------------------------
+class TestCollapse:
+    @pytest.mark.parametrize("backend", [BACKEND_BITSET, BACKEND_SET])
+    def test_cycles_collapse_and_save_work(self, cycles_program, backend):
+        on = Solver(cycles_program, pts_backend=backend, scc=True)
+        on.solve()
+        off = Solver(cycles_program, pts_backend=backend, scc=False)
+        off.solve()
+        assert on.counters["sccs_collapsed"] > 0
+        assert on.counters["scc_nodes_merged"] > 0
+        assert on.counters["scc_edges_dropped"] > 0
+        assert on.iterations < off.iterations
+        assert off.counters["sccs_collapsed"] == 0
+        assert off.counters["scc_passes"] == 0
+
+    def test_member_accessors_resolve_to_representative(self, cycles_program):
+        solver = Solver(cycles_program, scc=True)
+        solver.solve()
+        uf = solver._uf
+        merged = [i for i in range(len(uf)) if uf.parent[i] != i]
+        assert merged, "expected at least one merged node"
+        for node in merged[:50]:
+            rep = uf.find(node)
+            assert solver.node_pts_bits(node) == solver.node_pts_bits(rep)
+            assert solver.node_pts_ids(node) == solver.node_pts_ids(rep)
+            assert solver.node_pts_count(node) == solver.node_pts_count(rep)
+            # collapse cleared the member's own state
+            assert solver._succs[node] == []
+            assert solver._meta_by_node[node] is None
+
+    def test_off_switch_never_unions(self, cycles_program):
+        solver = Solver(cycles_program, scc=False)
+        solver.solve()
+        assert solver._uf.merges == 0
+
+    def test_propagation_seeds_keyed_by_representatives(self, cycles_program):
+        solver = Solver(cycles_program, scc=True)
+        solver.solve()
+        parent = solver._uf.parent
+        for node in solver.propagation_seeds():
+            assert parent[node] == node
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: stride accounting under merges
+# ----------------------------------------------------------------------
+class TestStrideAccountingAfterMerges:
+    """Collapsed nodes must not distort governor work guards or skip the
+    stride callback: the wave loop counts *every* pop (stale and merged
+    included) on the same monotone iteration clock as the FIFO loops."""
+
+    @pytest.mark.parametrize("backend", [BACKEND_BITSET, BACKEND_SET])
+    def test_work_guard_trips_exactly(self, cycles_program, backend):
+        # learn the full iteration count under the same stride, then
+        # budget half of it
+        baseline = Solver(cycles_program, pts_backend=backend, scc=True,
+                          governor=ResourceGovernor(check_stride=1))
+        baseline.solve()
+        assert baseline.iterations > 4
+        limit = baseline.iterations // 2
+        governor = ResourceGovernor.from_limits(max_iterations=limit,
+                                                check_stride=1)
+        solver = Solver(cycles_program, pts_backend=backend, scc=True,
+                        governor=governor)
+        with pytest.raises(WorkBudgetExceeded):
+            solver.solve()
+        # stride 1 ⇒ the guard saw every single iteration; merges must
+        # not have let the count run past the budget
+        assert solver.iterations <= limit + 1
+
+    def test_fault_stride_callback_not_skipped(self, cycles_program):
+        """A ``solve-iteration`` fault armed at iteration N must fire at
+        exactly N even while collapse passes rewrite the graph."""
+        baseline = Solver(cycles_program, scc=True,
+                          governor=ResourceGovernor(check_stride=1))
+        baseline.solve()
+        at = baseline.iterations // 2
+        assert at > 1
+        plan = faults.FaultPlan.parse(f"solve-iteration:at={at}", stride=1)
+        solver = Solver(cycles_program, scc=True)
+        with faults.active(plan):
+            with pytest.raises(ResourceExhausted):
+                solver.solve()
+        assert plan.log == [("solve-iteration", f"iterations={at}")]
+        # the program is cycle-heavy enough that detection ran before
+        # the fault point — i.e. the callback survived actual merges
+        assert solver.counters["scc_passes"] >= 1
+        assert solver.counters["scc_nodes_merged"] > 0
+
+    def test_interrupted_then_fresh_solve_agrees(self, cycles_program):
+        """A solve interrupted mid-collapse leaves no corrupted shared
+        state behind (everything is per-Solver): a fresh solve still
+        reproduces the uncondensed result."""
+        baseline = Solver(cycles_program, scc=True,
+                          governor=ResourceGovernor(check_stride=1))
+        baseline.solve()
+        governor = ResourceGovernor.from_limits(
+            max_iterations=baseline.iterations // 2, check_stride=1)
+        interrupted = Solver(cycles_program, scc=True, governor=governor)
+        with pytest.raises(ResourceExhausted):
+            interrupted.solve()
+        on = Solver(cycles_program, scc=True).solve()
+        off = Solver(cycles_program, scc=False).solve()
+        assert on.stats()["pts_facts"] == off.stats()["pts_facts"]
+
+    def test_governor_sees_pending_as_worklist(self, cycles_program):
+        """The wave loop reports its pending map as the worklist depth."""
+        observed = []
+
+        class Probe(ResourceGovernor):
+            def check(self, iterations=0, objects=0, worklist=0):
+                observed.append(worklist)
+                return super().check(iterations=iterations, objects=objects,
+                                     worklist=worklist)
+
+        solver = Solver(cycles_program, scc=True,
+                        governor=Probe(check_stride=1))
+        solver.solve()
+        assert observed and max(observed) > 0
+
+
+# ----------------------------------------------------------------------
+# The cycles workload knob
+# ----------------------------------------------------------------------
+class TestCyclesWorkload:
+    def test_knob_defaults_off(self):
+        spec = WorkloadSpec(name="plain", seed=1)
+        program = generate(spec)
+        assert not any("CycleHub" in name for name in program.classes)
+
+    def test_profile_loads_and_scales(self):
+        small = load_profile("cycles", 0.25)
+        full = load_profile("cycles")
+        assert small.stats()["statements"] < full.stats()["statements"]
+
+    def test_cycle_density_dials_collapse(self, cycles_program):
+        from dataclasses import replace
+
+        sparse = generate(replace(CYCLES.scaled(0.5), name="sparse",
+                                  cycle_chains=2, cycle_chain_length=4))
+        dense_solver = Solver(cycles_program, scc=True)
+        dense_solver.solve()
+        sparse_solver = Solver(sparse, scc=True)
+        sparse_solver.solve()
+        assert (dense_solver.counters["scc_nodes_merged"]
+                > sparse_solver.counters["scc_nodes_merged"])
