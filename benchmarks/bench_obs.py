@@ -1,0 +1,65 @@
+"""Tracing-overhead benchmarks for :mod:`repro.obs`.
+
+Three configurations of the same full solve, grouped per profile so
+pytest-benchmark's comparison table reads as an overhead ladder:
+
+* ``untraced`` — ``tracer=None``, the true zero-cost baseline;
+* ``null-sink`` — a :class:`~repro.obs.tracer.Tracer` with no sinks:
+  span structure is tracked but every event is dropped.  This is the
+  configuration the <5% overhead budget applies to (the hot-path cost
+  is one ``is not None`` test per stride gate plus window rotation);
+* ``in-memory`` — a full :class:`~repro.obs.tracer.InMemorySink`
+  capture, the cost of ``analyze --trace``.
+
+CI runs this module with ``--benchmark-disable`` (one pass, no timing
+assertions) purely as an execution smoke test; the timing claims live
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import InMemorySink, Tracer
+from repro.pta.solver import Solver
+
+from benchmarks.conftest import program_for
+
+PROFILES = ["cycles", "luindex"]
+
+CONFIGS = {
+    "untraced": lambda: None,
+    "null-sink": lambda: Tracer(),
+    "in-memory": lambda: Tracer(sinks=(InMemorySink(),)),
+}
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("config", list(CONFIGS), ids=list(CONFIGS))
+def test_solve_overhead(benchmark, profile, config):
+    program = program_for(profile, 1.0)
+    make_tracer = CONFIGS[config]
+    benchmark.group = f"obs-solve-{profile}"
+    result = benchmark(lambda: Solver(program,
+                                      tracer=make_tracer()).solve())
+    assert result.object_count > 0
+
+
+@pytest.mark.parametrize("profile", ["cycles"])
+def test_traced_solve_produces_complete_trace(benchmark, profile):
+    """The in-memory capture measured above is also structurally
+    complete: every stride window sums back to the solve total."""
+    program = program_for(profile, 1.0)
+
+    def traced_solve():
+        sink = InMemorySink()
+        Solver(program, tracer=Tracer(sinks=(sink,))).solve()
+        return sink
+
+    benchmark.group = "obs-capture"
+    sink = benchmark(traced_solve)
+    (solve,) = sink.find("solve")
+    strides = [c for c in solve.children if c.name == "stride"]
+    assert strides
+    assert sum(s.attrs["iterations"] for s in strides) == \
+        solve.attrs["iterations"]

@@ -5,9 +5,16 @@ pre-analysis), ``fpg``, ``merge``, and ``main`` — and each can be given
 an independent :class:`PhaseBudget` covering three resource axes:
 
 * **wall-clock** (``wall_seconds``),
-* **peak memory** (``memory_bytes``, against the process watermark from
-  :func:`repro.resources.memory_watermark_bytes`, plus any injected
-  ``memory-spike`` from :mod:`repro.faults`),
+* **memory growth** (``memory_bytes``) — the process watermark from
+  :func:`repro.resources.memory_watermark_bytes` (plus any injected
+  ``memory-spike`` from :mod:`repro.faults`) *relative to a baseline
+  sampled at construction and re-sampled by :meth:`begin_attempt`*.
+  The watermark has peak-RSS semantics — it never decreases — so
+  budgeting the absolute value would make one memory exhaustion
+  poison every later degradation rung: the next, coarser attempt
+  would re-read the same high-water and spuriously exhaust even
+  though its own footprint fits.  Budgeting the per-attempt *delta*
+  lets a rung be rescued after a memory trip;
 * **work** (``max_iterations`` worklist pops, ``max_objects`` interned
   abstract objects, ``max_worklist`` pending-entry depth).
 
@@ -21,8 +28,11 @@ which is what the degradation ladder keys its retry decisions on.
 
 The governor is stateful and single-run: build one per
 :func:`~repro.analysis.pipeline.run_analysis` call (the batch runner
-builds one per program).  After a run, :meth:`report` returns the
-per-phase elapsed times and high-water marks for provenance.
+builds one per program); the pipeline calls :meth:`begin_attempt` at
+every degradation-ladder rung.  After a run, :meth:`report` returns the
+per-phase elapsed times and high-water marks for provenance.  With a
+:class:`~repro.obs.Tracer` attached, every budget trip emits a
+``governor.exhausted`` instant into the active trace.
 """
 
 from __future__ import annotations
@@ -30,9 +40,12 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional
 
 from repro import faults
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs import Tracer
 from repro.perf import PerfRecorder
 from repro.resources import (
     MemoryBudgetExceeded,
@@ -88,6 +101,7 @@ class ResourceGovernor:
         default: Optional[PhaseBudget] = None,
         check_stride: int = 1024,
         perf: Optional[PerfRecorder] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.budgets: Dict[str, PhaseBudget] = dict(budgets or {})
         for name in self.budgets:
@@ -102,9 +116,16 @@ class ResourceGovernor:
             )
         self.check_stride = check_stride
         self.perf = perf
+        self.tracer = tracer
         self._phase: Optional[str] = None
         self._phase_start: float = 0.0
         self._report: Dict[str, Dict[str, float]] = {}
+        # Memory budgets are deltas against this baseline (re-sampled by
+        # begin_attempt); sample eagerly so a standalone governor with no
+        # ladder around it still budgets growth, not absolute RSS.
+        self._memory_baseline: int = 0
+        if self._memory_budgeted():
+            self._memory_baseline = self._sample_watermark() or 0
 
     @classmethod
     def from_limits(
@@ -125,6 +146,33 @@ class ResourceGovernor:
             max_objects=max_objects,
         )
         return cls(default=budget, check_stride=check_stride)
+
+    # -- memory baseline ------------------------------------------------
+    def _memory_budgeted(self) -> bool:
+        if self.default is not None and self.default.memory_bytes is not None:
+            return True
+        return any(b.memory_bytes is not None for b in self.budgets.values())
+
+    def _sample_watermark(self) -> Optional[int]:
+        """The process watermark plus any already-injected spike bytes
+        (``spiked_bytes`` reads without arming new activations — a
+        baseline sample must not consume the fault it will later
+        observe)."""
+        observed = memory_watermark_bytes()
+        if observed is None:
+            return None
+        plan = faults.current_plan()
+        if plan is not None:
+            observed += plan.spiked_bytes
+        return observed
+
+    def begin_attempt(self) -> None:
+        """Re-baseline the memory budget for a new degradation-ladder
+        rung.  The watermark never decreases, so without this a rung
+        that exhausted memory would leave every later, coarser rung
+        reading the same high-water and spuriously exhausting too."""
+        if self._memory_budgeted():
+            self._memory_baseline = self._sample_watermark() or 0
 
     # -- phase structure ------------------------------------------------
     @property
@@ -174,6 +222,19 @@ class ResourceGovernor:
             yield
 
     # -- the hot-path check ---------------------------------------------
+    def _exhaust(self, exc: ResourceExhausted) -> None:
+        """Emit the ``governor.exhausted`` instant (when traced) and
+        raise — the single funnel for every budget trip."""
+        if self.tracer is not None:
+            self.tracer.instant(
+                "governor.exhausted",
+                phase=exc.phase,
+                resource=type(exc).__name__,
+                budget=exc.budget,
+                observed=exc.observed,
+            )
+        raise exc
+
     def check(self, iterations: int = 0, objects: int = 0,
               worklist: int = 0) -> None:
         """Raise if the current phase's budget is exhausted.
@@ -193,49 +254,55 @@ class ResourceGovernor:
         if budget.wall_seconds is not None:
             elapsed = time.monotonic() - self._phase_start
             if elapsed > budget.wall_seconds:
-                raise TimeBudgetExceeded(
+                self._exhaust(TimeBudgetExceeded(
                     f"phase {phase!r} exceeded {budget.wall_seconds:.3f}s "
                     f"(elapsed {elapsed:.3f}s)",
                     phase=phase, budget=budget.wall_seconds,
                     observed=elapsed, iterations=iterations,
-                )
+                ))
         if budget.max_iterations is not None and iterations > budget.max_iterations:
-            raise WorkBudgetExceeded(
+            self._exhaust(WorkBudgetExceeded(
                 f"phase {phase!r} exceeded {budget.max_iterations} "
                 f"worklist iterations",
                 phase=phase, budget=budget.max_iterations,
                 observed=iterations, iterations=iterations,
-            )
+            ))
         if budget.max_objects is not None and objects > budget.max_objects:
-            raise WorkBudgetExceeded(
+            self._exhaust(WorkBudgetExceeded(
                 f"phase {phase!r} exceeded {budget.max_objects} "
                 f"abstract objects ({objects} interned)",
                 phase=phase, budget=budget.max_objects,
                 observed=objects, iterations=iterations,
-            )
+            ))
         if budget.max_worklist is not None and worklist > budget.max_worklist:
-            raise WorkBudgetExceeded(
+            self._exhaust(WorkBudgetExceeded(
                 f"phase {phase!r} exceeded worklist depth "
                 f"{budget.max_worklist} ({worklist} pending)",
                 phase=phase, budget=budget.max_worklist,
                 observed=worklist, iterations=iterations,
-            )
+            ))
         if budget.memory_bytes is not None:
             observed = memory_watermark_bytes()
             if observed is not None:
                 plan = faults.current_plan()
                 if plan is not None:
                     observed += plan.spike_bytes()
+                delta = max(0, observed - self._memory_baseline)
                 entry["peak_memory_bytes"] = max(
                     entry.get("peak_memory_bytes", 0), observed
                 )
-                if observed > budget.memory_bytes:
-                    raise MemoryBudgetExceeded(
-                        f"phase {phase!r} exceeded {budget.memory_bytes} "
-                        f"bytes (watermark {observed})",
+                entry["memory_delta_bytes"] = max(
+                    entry.get("memory_delta_bytes", 0), delta
+                )
+                if delta > budget.memory_bytes:
+                    self._exhaust(MemoryBudgetExceeded(
+                        f"phase {phase!r} grew {delta} bytes over its "
+                        f"{budget.memory_bytes}-byte budget "
+                        f"(watermark {observed}, attempt baseline "
+                        f"{self._memory_baseline})",
                         phase=phase, budget=budget.memory_bytes,
-                        observed=observed, iterations=iterations,
-                    )
+                        observed=delta, iterations=iterations,
+                    ))
 
     # -- provenance -----------------------------------------------------
     def report(self) -> Dict[str, Dict[str, float]]:

@@ -42,11 +42,11 @@ deterministically.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
-from repro import faults
+from repro import faults, obs
 from repro.analysis.config import AnalysisConfig, parse_config
 from repro.core.automata import SharedAutomata
 from repro.perf import PerfRecorder
@@ -105,6 +105,16 @@ def _phase_scope(governor, name: str) -> Iterator[None]:
         raise
 
 
+@contextmanager
+def _maybe_span(tracer: Optional[obs.Tracer], name: str, **attrs) -> Iterator[None]:
+    """A tracer span, or a no-op when untraced."""
+    if tracer is None:
+        yield
+        return
+    with tracer.span(name, **attrs):
+        yield
+
+
 @dataclass
 class PreAnalysisArtifacts:
     """Everything the pre-analysis phase produces (reusable across the
@@ -131,7 +141,10 @@ class AttemptRecord:
     ``phase``/``cause`` are ``None`` for the successful attempt;
     ``seconds`` covers the whole attempt (pre-analysis included when the
     attempt built one), unlike ``AnalysisRun.main_seconds`` which is the
-    main solve only.
+    main solve only.  When the run collects performance counters, each
+    attempt keeps its *own* recorder here — a failed rung's phase timers
+    must not leak into the rescued run's numbers (only the successful
+    attempt is merged into the run-level recorder).
     """
 
     config: str
@@ -139,6 +152,7 @@ class AttemptRecord:
     phase: Optional[str] = None
     cause: Optional[str] = None
     detail: str = ""
+    recorder: Optional[PerfRecorder] = field(default=None, repr=False)
 
     @property
     def succeeded(self) -> bool:
@@ -153,6 +167,10 @@ class AttemptRecord:
             out["phase"] = self.phase
             out["cause"] = self.cause
             out["detail"] = self.detail
+        if self.recorder is not None:
+            snapshot = self.recorder.snapshot()
+            if snapshot:
+                out["perf"] = snapshot
         return out
 
 
@@ -238,6 +256,7 @@ def run_pre_analysis(
     perf: Optional[PerfRecorder] = None,
     governor=None,
     scc: Optional[bool] = None,
+    tracer: Optional[obs.Tracer] = None,
 ) -> PreAnalysisArtifacts:
     """Phases 1–3: ci points-to analysis, FPG construction, MAHJONG.
 
@@ -246,32 +265,36 @@ def run_pre_analysis(
     its constraint-graph condensation (``None`` = resolve through
     ``$REPRO_SCC``/default); ``perf`` optionally collects
     counters/timers across all three phases; ``governor`` budgets each
-    phase (``pre``/``fpg``/``merge``).  Exhaustion raises
+    phase (``pre``/``fpg``/``merge``); ``tracer`` wraps each phase in a
+    ``phase:*`` span.  Exhaustion raises
     :class:`~repro.resources.ResourceExhausted` with the phase
     attributed — :func:`run_analysis` catches it.
     """
     t0 = time.monotonic()
-    with _phase_scope(governor, "pre"):
-        faults.fire("pre-boundary", phase="pre")
-        pre_result = Solver(program, selector_for("ci"),
-                            AllocationSiteAbstraction(),
-                            timeout_seconds=timeout_seconds,
-                            pts_backend=pts_backend, perf=perf,
-                            governor=governor, phase_label="pre",
-                            scc=scc).solve()
+    with _maybe_span(tracer, "phase:pre"):
+        with _phase_scope(governor, "pre"):
+            faults.fire("pre-boundary", phase="pre")
+            pre_result = Solver(program, selector_for("ci"),
+                                AllocationSiteAbstraction(),
+                                timeout_seconds=timeout_seconds,
+                                pts_backend=pts_backend, perf=perf,
+                                governor=governor, phase_label="pre",
+                                scc=scc, tracer=tracer).solve()
     t1 = time.monotonic()
-    with _phase_scope(governor, "fpg"):
-        faults.fire("fpg-boundary", phase="fpg")
-        fpg = build_fpg(pre_result)
-        # a corrupted artifact must not reach the merge phase; the
-        # fault plan may deliberately corrupt an edge right before.
-        faults.corrupt_fpg(fpg)
-        fpg.check_integrity()
+    with _maybe_span(tracer, "phase:fpg"):
+        with _phase_scope(governor, "fpg"):
+            faults.fire("fpg-boundary", phase="fpg")
+            fpg = build_fpg(pre_result)
+            # a corrupted artifact must not reach the merge phase; the
+            # fault plan may deliberately corrupt an edge right before.
+            faults.corrupt_fpg(fpg)
+            fpg.check_integrity()
     t2 = time.monotonic()
-    with _phase_scope(governor, "merge"):
-        faults.fire("merge-boundary", phase="merge")
-        shared = SharedAutomata(fpg, perf=perf) if perf is not None else None
-        merge = merge_type_consistent_objects(fpg, merge_options, shared=shared)
+    with _maybe_span(tracer, "phase:merge"):
+        with _phase_scope(governor, "merge"):
+            faults.fire("merge-boundary", phase="merge")
+            shared = SharedAutomata(fpg, perf=perf) if perf is not None else None
+            merge = merge_type_consistent_objects(fpg, merge_options, shared=shared)
     t3 = time.monotonic()
     if perf is not None:
         perf.add_time("pre.fpg", t2 - t1)
@@ -376,17 +399,20 @@ def _solve_main(
     perf: Optional[PerfRecorder],
     governor,
     scc: Optional[bool] = None,
+    tracer: Optional[obs.Tracer] = None,
 ) -> AnalysisRun:
     """Phase 4 for one configuration; raises on exhaustion."""
     selector = selector_for(config.sensitivity)
     solver = Solver(program, selector, heap_model,
                     timeout_seconds=timeout_seconds,
                     pts_backend=pts_backend, perf=perf,
-                    governor=governor, phase_label="main", scc=scc)
+                    governor=governor, phase_label="main", scc=scc,
+                    tracer=tracer)
     start = time.monotonic()
-    with _phase_scope(governor, "main"):
-        faults.fire("main-boundary", phase="main")
-        result = solver.solve()
+    with _maybe_span(tracer, "phase:main"):
+        with _phase_scope(governor, "main"):
+            faults.fire("main-boundary", phase="main")
+            result = solver.solve()
     return AnalysisRun(
         config=config,
         result=result,
@@ -405,6 +431,7 @@ def run_analysis(
     governor=None,
     degrade: Union[None, bool, str, Sequence[str]] = None,
     scc: Optional[bool] = None,
+    tracer: Optional[obs.Tracer] = None,
 ) -> AnalysisRun:
     """Run a named analysis configuration end to end.
 
@@ -426,66 +453,109 @@ def run_analysis(
     ``scc`` likewise overrides the ``@scc``/``@noscc`` suffix for both
     the pre-analysis and main solves (``None`` → suffix → ``$REPRO_SCC``
     → on).
+
+    ``tracer`` (``None`` = the process-wide one from
+    :func:`repro.obs.current_tracer`, if installed) records the run as
+    a span tree — an ``analysis`` root, one ``attempt`` span per ladder
+    rung, the four ``phase:*`` spans, and the solver's ``solve``/
+    ``stride`` spans — and is installed process-wide for the duration
+    so fault firings land in the same trace.  With ``perf`` given, each
+    attempt additionally collects into its *own* recorder
+    (``AttemptRecord.recorder``); only the successful attempt's numbers
+    merge into ``perf``, so a failed rung cannot pollute the rescued
+    run's counters.
     """
+    if tracer is None:
+        tracer = obs.current_tracer()
+    if (governor is not None and tracer is not None
+            and getattr(governor, "tracer", None) is None):
+        governor.tracer = tracer
     ladder = _normalize_degrade(degrade)
     requested = analysis
     attempts: List[AttemptRecord] = []
     current = analysis
     shared_pre = pre
     explicit_index = 0
-    while True:
-        config = parse_config(current)
-        backend = pts_backend if pts_backend is not None else config.pts_backend
-        use_scc = scc if scc is not None else config.scc
-        start = time.monotonic()
-        try:
-            if config.heap == "mahjong":
-                if shared_pre is None:
-                    shared_pre = run_pre_analysis(
-                        program, merge_options,
-                        timeout_seconds=timeout_seconds,
-                        pts_backend=backend, perf=perf, governor=governor,
-                        scc=use_scc,
-                    )
-                heap_model: HeapModel = shared_pre.abstraction
-            elif config.heap == "alloc-type":
-                heap_model = AllocationTypeAbstraction(program)
-            else:
-                heap_model = AllocationSiteAbstraction()
-            run = _solve_main(program, config, heap_model, timeout_seconds,
-                              backend, perf, governor, scc=use_scc)
-        except (ResourceExhausted, FPGIntegrityError) as exc:
-            seconds = time.monotonic() - start
-            phase = getattr(exc, "phase", None) or "main"
-            cause = exc.resource if isinstance(exc, ResourceExhausted) else "corrupt"
-            attempts.append(AttemptRecord(
-                config=current, seconds=seconds, phase=phase, cause=cause,
-                detail=str(exc),
+    with ExitStack() as scope:
+        if tracer is not None:
+            scope.enter_context(obs.active(tracer))
+            scope.enter_context(tracer.span(
+                "analysis", analysis=analysis,
+                degrade=bool(ladder),
             ))
-            if ladder == "auto":
-                following = next_rung(current, phase)
-            elif ladder is not None and explicit_index < len(ladder):
-                following = ladder[explicit_index]
-                explicit_index += 1
-            else:
-                following = None
-            if following is None:
-                return AnalysisRun(
-                    config=config,
-                    result=None,
-                    main_seconds=seconds,
-                    timed_out=True,
-                    pre=shared_pre,
-                    degraded_from=requested if current != requested else None,
-                    failed_phase=phase,
-                    exhaustion_cause=cause,
-                    attempts=attempts,
+        while True:
+            config = parse_config(current)
+            backend = pts_backend if pts_backend is not None else config.pts_backend
+            use_scc = scc if scc is not None else config.scc
+            attempt_perf = PerfRecorder() if perf is not None else None
+            begin_attempt = getattr(governor, "begin_attempt", None)
+            if begin_attempt is not None:
+                begin_attempt()
+            attempt_span = None
+            if tracer is not None:
+                attempt_span = tracer.begin(
+                    "attempt", config=current, index=len(attempts),
                 )
-            current = following
-            continue
-        attempts.append(AttemptRecord(config=current, seconds=run.main_seconds))
-        run.pre = shared_pre
-        run.attempts = attempts
-        if current != requested:
-            run.degraded_from = requested
-        return run
+            start = time.monotonic()
+            try:
+                if config.heap == "mahjong":
+                    if shared_pre is None:
+                        shared_pre = run_pre_analysis(
+                            program, merge_options,
+                            timeout_seconds=timeout_seconds,
+                            pts_backend=backend, perf=attempt_perf,
+                            governor=governor, scc=use_scc, tracer=tracer,
+                        )
+                    heap_model: HeapModel = shared_pre.abstraction
+                elif config.heap == "alloc-type":
+                    heap_model = AllocationTypeAbstraction(program)
+                else:
+                    heap_model = AllocationSiteAbstraction()
+                run = _solve_main(program, config, heap_model, timeout_seconds,
+                                  backend, attempt_perf, governor,
+                                  scc=use_scc, tracer=tracer)
+            except (ResourceExhausted, FPGIntegrityError) as exc:
+                seconds = time.monotonic() - start
+                phase = getattr(exc, "phase", None) or "main"
+                cause = exc.resource if isinstance(exc, ResourceExhausted) else "corrupt"
+                if tracer is not None:
+                    tracer.end(attempt_span, outcome="exhausted",
+                               cause=cause, phase=phase)
+                attempts.append(AttemptRecord(
+                    config=current, seconds=seconds, phase=phase, cause=cause,
+                    detail=str(exc), recorder=attempt_perf,
+                ))
+                if ladder == "auto":
+                    following = next_rung(current, phase)
+                elif ladder is not None and explicit_index < len(ladder):
+                    following = ladder[explicit_index]
+                    explicit_index += 1
+                else:
+                    following = None
+                if following is None:
+                    return AnalysisRun(
+                        config=config,
+                        result=None,
+                        main_seconds=seconds,
+                        timed_out=True,
+                        pre=shared_pre,
+                        degraded_from=requested if current != requested else None,
+                        failed_phase=phase,
+                        exhaustion_cause=cause,
+                        attempts=attempts,
+                    )
+                current = following
+                continue
+            if tracer is not None:
+                tracer.end(attempt_span, outcome="ok")
+            attempts.append(AttemptRecord(
+                config=current, seconds=run.main_seconds,
+                recorder=attempt_perf,
+            ))
+            if perf is not None and attempt_perf is not None:
+                perf.merge(attempt_perf)
+            run.pre = shared_pre
+            run.attempts = attempts
+            if current != requested:
+                run.degraded_from = requested
+            return run

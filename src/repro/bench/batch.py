@@ -26,16 +26,19 @@ Programs come from the synthetic profiles (``--profiles``), the
 hand-written corpus (``--corpus``), and/or mini-Java files
 (``--files``).  Per-phase budgets come from ``--budget`` (wall-clock
 per solve) plus the governor knobs (``--max-iterations``,
-``--memory-mb``); fault injection from ``--faults``/``--faults-seed``.
+``--memory-mb``); fault injection from ``--faults``/``--faults-seed``;
+``--trace-dir`` writes one Chrome trace (:mod:`repro.obs`) per program.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.analysis.governor import ResourceGovernor
 from repro.analysis.pipeline import run_analysis
 from repro.bench.reporting import format_seconds, render_table
@@ -62,6 +65,10 @@ class BatchRecord:
     degraded_from: Optional[str] = None
     failed_phase: Optional[str] = None
     exhaustion_cause: Optional[str] = None
+    #: every *planned* transient-retry backoff, in order — including
+    #: the final one that is deliberately never slept (giving up must
+    #: not delay the rest of the batch).
+    backoff_delays: List[float] = field(default_factory=list)
 
     @property
     def usable(self) -> bool:
@@ -80,6 +87,8 @@ class BatchRecord:
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
+        if self.backoff_delays:
+            out["backoff_delays"] = [round(d, 6) for d in self.backoff_delays]
         return out
 
 
@@ -145,6 +154,11 @@ def _classify(run) -> Tuple[str, Optional[str], Optional[str], Optional[str]]:
     return "ok", None, None, None
 
 
+def _trace_slug(name: str) -> str:
+    """A filesystem-safe stem for a per-program trace file."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
 def run_batch(
     programs: Iterable[Tuple[str, ProgramSource]],
     config: str = "M-2obj",
@@ -155,6 +169,9 @@ def run_batch(
     seed: int = 0,
     governor_factory: Optional[Callable[[], ResourceGovernor]] = None,
     verbose: bool = False,
+    sleeper: Callable[[float], None] = time.sleep,
+    tracer: Optional[obs.Tracer] = None,
+    trace_dir: Optional[str] = None,
 ) -> BatchResult:
     """Run ``config`` over every program, isolating failures.
 
@@ -166,37 +183,69 @@ def run_batch(
     (governors are stateful).  Transient faults are retried up to
     ``max_retries`` times with jittered exponential backoff seeded by
     ``seed`` — deterministic, like everything else in the fault path.
+
+    ``sleeper`` performs the backoff waits (injectable so tests never
+    sleep real wall-clock); every *planned* delay is recorded on the
+    record's ``backoff_delays``, but the one planned when the final
+    retry is abandoned is never slept.  ``tracer`` wraps each program
+    in a ``batch:program`` span and each slept backoff in a
+    ``batch.backoff`` instant; ``trace_dir`` instead gives every
+    program its own tracer and writes one Chrome trace file per
+    program into the directory.
     """
     rng = random.Random(seed)
     result = BatchResult(config=config)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     for name, source in programs:
         retries = 0
+        delays: List[float] = []
+        mem_sink: Optional[obs.InMemorySink] = None
+        if trace_dir is not None:
+            mem_sink = obs.InMemorySink()
+            program_tracer: Optional[obs.Tracer] = obs.Tracer(sinks=(mem_sink,))
+        else:
+            program_tracer = tracer
+        span = None
+        if program_tracer is not None:
+            span = program_tracer.begin("batch:program", program=name,
+                                        config=config)
         start = time.monotonic()
         while True:
             try:
                 program = source() if callable(source) else source
                 governor = governor_factory() if governor_factory else None
                 run = run_analysis(program, config, timeout_seconds=budget,
-                                   governor=governor, degrade=degrade)
+                                   governor=governor, degrade=degrade,
+                                   tracer=program_tracer)
             except TransientFault as exc:
+                # the backoff is planned (and recorded) for every
+                # transient, but never slept once the retries are spent
+                # — giving up must not delay the rest of the batch
+                delay = backoff_seconds * (2 ** retries) * (0.5 + rng.random())
+                delays.append(delay)
                 if retries >= max_retries:
                     record = BatchRecord(
                         program=name, config=config, status="failed",
                         seconds=time.monotonic() - start, retries=retries,
                         error=f"transient fault persisted after "
                               f"{retries} retries: {exc}",
+                        backoff_delays=delays,
                     )
                     break
                 retries += 1
-                # jittered exponential backoff: deterministic under seed
-                delay = backoff_seconds * (2 ** (retries - 1)) * (0.5 + rng.random())
-                time.sleep(delay)
+                if program_tracer is not None:
+                    program_tracer.instant("batch.backoff", program=name,
+                                           retry=retries,
+                                           delay=round(delay, 6))
+                sleeper(delay)
                 continue
             except Exception as exc:  # noqa: BLE001 - isolation is the point
                 record = BatchRecord(
                     program=name, config=config, status="failed",
                     seconds=time.monotonic() - start, retries=retries,
                     error=f"{type(exc).__name__}: {exc}",
+                    backoff_delays=delays,
                 )
                 break
             else:
@@ -208,8 +257,15 @@ def run_batch(
                     degraded_from=degraded_from,
                     failed_phase=failed_phase,
                     exhaustion_cause=cause,
+                    backoff_delays=delays,
                 )
                 break
+        if program_tracer is not None:
+            program_tracer.end(span, status=record.status,
+                               retries=record.retries)
+        if mem_sink is not None:
+            path = os.path.join(trace_dir, f"{_trace_slug(name)}.trace.json")
+            obs.write_chrome_trace(mem_sink.events, path)
         result.records.append(record)
         if verbose:
             print(f"  {name:<16} {record.status:<10} "
@@ -294,6 +350,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="exit non-zero unless every record is usable")
     parser.add_argument("-o", "--output", default=None,
                         help="write the JSON batch report here")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write one Chrome trace file per program "
+                             "into this directory")
     args = parser.parse_args(argv)
 
     degrade: Union[bool, str] = True
@@ -326,12 +385,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             governor_factory=governor_factory,
             verbose=True,
+            trace_dir=args.trace_dir,
         )
     print()
     print(result.render())
     if args.output:
         dump_json(result.to_dict(), args.output)
         print(f"wrote {args.output}")
+    if args.trace_dir:
+        print(f"wrote per-program traces to {args.trace_dir}")
     if args.strict and not result.all_usable:
         return 4
     return 0

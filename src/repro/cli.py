@@ -9,7 +9,10 @@ Subcommands:
 * ``generate PROFILE [-o FILE]`` — emit a synthetic workload as source;
 * ``batch ...`` — run one configuration over a whole corpus with
   per-program failure isolation (alias of ``python -m repro.bench batch``);
-* ``bench <harness> ...`` — alias of ``python -m repro.bench``.
+* ``bench <harness> ...`` — alias of ``python -m repro.bench``;
+* ``trace summarize|validate FILE`` — inspect a trace artifact written
+  by ``analyze --trace/--trace-out`` or ``batch --trace-dir``
+  (:mod:`repro.obs`).
 
 Exit codes: 0 success, 1 analysis did not succeed (legacy), 2 bad
 usage, 3 resource budget exhausted on every degradation rung, 4 batch
@@ -32,7 +35,7 @@ EXIT_EXHAUSTED = 3
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
-    from repro import faults
+    from repro import faults, obs
     from repro.analysis.governor import ResourceGovernor
     from repro.analysis.pipeline import run_analysis
     from repro.frontend import parse_program
@@ -53,11 +56,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                                              seed=args.faults_seed, stride=1))
         if args.faults else nullcontext()
     )
+    tracer = None
+    mem_sink = None
+    sinks = []
+    if args.trace:
+        mem_sink = obs.InMemorySink()
+        sinks.append(mem_sink)
+    if args.trace_out:
+        sinks.append(obs.JsonlSink(args.trace_out))
+    if sinks:
+        tracer = obs.Tracer(sinks=tuple(sinks))
     scc = None if args.scc is None else (args.scc == "on")
     with plan_scope:
         run = run_analysis(program, args.analysis,
                            timeout_seconds=args.budget,
-                           governor=governor, degrade=degrade, scc=scc)
+                           governor=governor, degrade=degrade, scc=scc,
+                           tracer=tracer)
+    if tracer is not None:
+        tracer.close()
+        if mem_sink is not None:
+            obs.write_chrome_trace(mem_sink.events, args.trace)
+            print(f"wrote {args.trace}", file=sys.stderr)
+        if args.trace_out:
+            print(f"wrote {args.trace_out}", file=sys.stderr)
     for key, value in run.metrics().items():
         print(f"{key}: {value}")
     if run.timed_out:
@@ -160,6 +181,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    payload = obs.load_trace_file(args.file)
+    if args.action == "validate":
+        # a JSONL event log is validated by round-tripping it through
+        # the typed events and the Chrome exporter; a Chrome trace is
+        # checked directly against the exporter's schema
+        if (isinstance(payload, list) and payload
+                and isinstance(payload[0], dict) and "kind" in payload[0]):
+            try:
+                events = [obs.event_from_dict(item) for item in payload]
+            except (KeyError, TypeError, ValueError) as exc:
+                errors = [f"bad JSONL event: {exc}"]
+            else:
+                errors = obs.validate_chrome_trace(obs.to_chrome_trace(events))
+        else:
+            errors = obs.validate_chrome_trace(payload)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(f"{args.file}: INVALID ({len(errors)} error(s))",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.file}: OK")
+        return 0
+    print(obs.summarize_trace_payload(payload))
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.bench.batch import main as batch_main
 
@@ -201,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--scc", choices=("on", "off"), default=None,
                          help="constraint-graph condensation (default: "
                               "@scc/@noscc suffix, then $REPRO_SCC, then on)")
+    analyze.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a chrome://tracing / Perfetto flame "
+                              "chart of the run to FILE")
+    analyze.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write the raw JSONL span/event log to FILE")
     analyze.set_defaults(func=_cmd_analyze)
 
     merge = sub.add_parser("merge", help="show MAHJONG equivalence classes")
@@ -229,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--budget", type=float, default=None)
     report.add_argument("-o", "--output", default=None)
     report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser("trace", help="inspect a trace artifact")
+    trace.add_argument("action", choices=("summarize", "validate"))
+    trace.add_argument("file")
+    trace.set_defaults(func=_cmd_trace)
 
     batch = sub.add_parser(
         "batch", help="run one configuration over a corpus with "

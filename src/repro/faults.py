@@ -43,7 +43,13 @@ points with colon-separated ``key=value`` fields::
 
 Each spec fires on its first ``times`` activations (default 1) and then
 goes quiet — that is what makes a *transient* fault transient and lets
-the ladder's next rung succeed.  With ``probability`` below 1 the
+the ladder's next rung succeed.  ``memory-spike`` is the exception in
+one respect: once fired, its contribution is *sticky* (the plan keeps
+reporting the peak spike from :meth:`FaultPlan.spike_bytes` /
+:attr:`FaultPlan.spiked_bytes`), mirroring the peak-RSS semantics of
+the real watermark it inflates — memory you allocated does not vanish
+from ``ru_maxrss`` when the allocation dies.  With ``probability``
+below 1 the
 decision comes from a per-point ``random.Random`` seeded from
 ``(seed, point)`` (via CRC32, so it is stable across processes and
 independent of activation order at other points), keeping every run
@@ -204,6 +210,8 @@ class FaultPlan:
         self.stride = stride
         self._activations: Dict[str, int] = {}
         self._rngs: Dict[str, random.Random] = {}
+        #: sticky peak of fired memory-spike bytes (watermark semantics).
+        self._spiked: int = 0
         #: chronological record of every firing: ``(point, detail)``.
         self.log: List[Tuple[str, str]] = []
 
@@ -253,12 +261,24 @@ class FaultPlan:
         return max(0, spec.times - self._activations.get(point, 0))
 
     # -- injection-point entry points -----------------------------------
+    @staticmethod
+    def _trace_firing(point: str, **attrs) -> None:
+        """Emit a ``fault`` instant into the active trace, if any.  The
+        import is lazy: fault hooks are module-level and must stay
+        importable before :mod:`repro.obs` is."""
+        from repro import obs
+
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            tracer.instant("fault", point=point, **attrs)
+
     def fire(self, point: str, phase: Optional[str] = None) -> None:
         """Boundary points: raise per the armed spec, if any."""
         spec = self.specs.get(point)
         if spec is None or not self._consume(spec):
             return
         self.log.append((point, spec.kind))
+        self._trace_firing(point, kind=spec.kind, phase=phase)
         if spec.kind == "crash":
             raise InjectedCrash(
                 f"injected crash at {point!r}", point=point, phase=phase
@@ -279,20 +299,32 @@ class FaultPlan:
         if not self._consume(spec):
             return
         self.log.append(("solve-iteration", f"iterations={iterations}"))
+        self._trace_firing("solve-iteration", phase=phase,
+                           iterations=iterations)
         raise InjectedExhaustion(
             "solve-iteration", phase=phase, iterations=iterations
         )
 
     def spike_bytes(self) -> int:
         """``memory-spike``: extra bytes for the governor's next memory
-        sample.  Each sample consumes one activation, so a ``times=1``
-        spike exhausts exactly one attempt and lets the ladder's next
-        rung proceed."""
+        sample.  Each sample consumes one activation; fired bytes are
+        *sticky* (watermark semantics — the return value is the peak
+        spike so far, and stays inflated after the spec goes quiet).
+        Use :attr:`spiked_bytes` to read without consuming."""
         spec = self.specs.get("memory-spike")
-        if spec is None or not self._consume(spec):
-            return 0
-        self.log.append(("memory-spike", f"bytes={spec.bytes}"))
-        return spec.bytes
+        if spec is not None and self._consume(spec):
+            if spec.bytes > self._spiked:
+                self._spiked = spec.bytes
+                self.log.append(("memory-spike", f"bytes={spec.bytes}"))
+                self._trace_firing("memory-spike", bytes=spec.bytes)
+        return self._spiked
+
+    @property
+    def spiked_bytes(self) -> int:
+        """The sticky spike watermark, read without consuming an
+        activation — what the governor's per-attempt memory baseline
+        samples."""
+        return self._spiked
 
     def corrupt_fpg(self, fpg) -> bool:
         """``fpg-corrupt``: add a dangling edge to ``fpg`` (an edge whose
@@ -309,6 +341,7 @@ class FaultPlan:
         field_name = fields[rng.randrange(len(fields))] if fields else "__corrupt__"
         fpg._succ.setdefault(source, {}).setdefault(field_name, set()).add(bogus)
         self.log.append(("fpg-corrupt", f"{source}.{field_name} -> {bogus}"))
+        self._trace_firing("fpg-corrupt", source=source, field=field_name)
         return True
 
 

@@ -1,0 +1,95 @@
+"""``repro.obs`` — structured tracing and metrics for the pipeline.
+
+The observability layer has two halves sharing one discipline (optional
+collaborators, ``if x is not None`` on hot paths):
+
+* **metrics** (:mod:`repro.obs.metrics`) — the flat counters/timers/
+  gauges substrate, historically :mod:`repro.perf` (which now
+  re-exports from here);
+* **tracing** (:mod:`repro.obs.tracer`) — hierarchical spans with
+  attributes plus a typed event stream (:mod:`repro.obs.events`),
+  fanned out to sinks: an in-memory span tree, a JSONL event log, and
+  a Chrome-trace exporter (:mod:`repro.obs.chrome`) so a full solve
+  opens as a flame chart in ``chrome://tracing`` / Perfetto.
+
+Span vocabulary used across the pipeline:
+
+==================  ===================================================
+``analysis``        one :func:`~repro.analysis.pipeline.run_analysis`
+``attempt``         one degradation-ladder rung (attrs: config, index,
+                    outcome, cause, phase)
+``phase:pre`` etc.  the four pipeline phases (pre/fpg/merge/main)
+``solve``           one solver fixpoint (attrs: phase, backend, scc)
+``stride``          one solver check-stride window (attrs: iterations,
+                    worklist, facts — contiguous under ``solve``)
+``scc:collapse``    one online cycle-elimination pass
+``batch:program``   one program of a batch run
+==================  ===================================================
+
+Instants: ``fault`` (an injection fired), ``governor.exhausted`` (a
+budget tripped), ``scc:condense`` (a Tarjan sweep's stats),
+``batch.backoff`` (a planned transient-retry delay).
+
+A tracer is threaded *explicitly* through the pipeline, solver, and
+batch runner.  For code that cannot take a parameter (the module-level
+fault hooks), :func:`install`/:func:`active`/:func:`current_tracer`
+scope a process-wide tracer exactly like :mod:`repro.faults` scopes its
+plan; :func:`~repro.analysis.pipeline.run_analysis` installs its tracer
+for the duration of the run so fault firings land in the right trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.chrome import (
+    load_trace_file,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.events import Event, Instant, SpanBegin, SpanEnd, event_from_dict
+from repro.obs.metrics import PerfRecorder, null_recorder
+from repro.obs.summary import summarize_events, summarize_trace_payload
+from repro.obs.tracer import InMemorySink, JsonlSink, Sink, Span, Tracer
+
+__all__ = [
+    "Event", "SpanBegin", "SpanEnd", "Instant", "event_from_dict",
+    "PerfRecorder", "null_recorder",
+    "Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
+    "to_chrome_trace", "write_chrome_trace", "load_trace_file",
+    "validate_chrome_trace", "summarize_events", "summarize_trace_payload",
+    "install", "uninstall", "active", "current_tracer",
+]
+
+_installed: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _installed
+    previous = _installed
+    _installed = tracer
+    return previous
+
+
+def uninstall() -> Optional[Tracer]:
+    """Remove the installed tracer; returns it."""
+    return install(None)
+
+
+@contextmanager
+def active(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Scope a tracer to a ``with`` block (restores the previous one)."""
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The process-wide tracer, or ``None`` — hook for call sites that
+    cannot take a tracer parameter (the fault-injection points)."""
+    return _installed

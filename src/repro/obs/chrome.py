@@ -1,0 +1,198 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export and validation.
+
+The exporter turns a typed event stream into the Trace Event Format's
+JSON object form (``{"traceEvents": [...]}``) so a full solve opens as
+a flame chart in ``chrome://tracing``, Perfetto UI, or speedscope:
+
+* every closed span becomes one complete (``"ph": "X"``) event with
+  microsecond ``ts``/``dur`` and its attributes under ``args``;
+* every instant becomes an ``"ph": "i"`` event (thread scope);
+* a leading metadata event names the process.
+
+Spans that never closed (a crashed run) export as begin (``"B"``)
+events so the partial trace still loads.
+
+:func:`validate_chrome_trace` is the schema checker behind
+``repro trace validate`` — deliberately small (the format is huge), it
+checks exactly the invariants our exporter guarantees and CI relies on:
+the envelope shape, per-event required keys, known phases, numeric
+non-negative timestamps/durations, and dict-typed ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.events import Event, Instant, SpanBegin, SpanEnd
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_trace_file",
+    "validate_chrome_trace",
+    "events_from_trace",
+]
+
+#: Phases our exporter emits (and the validator accepts).
+_KNOWN_PHASES = ("X", "B", "i", "M")
+
+
+def chrome_trace_events(events: Iterable[Event], pid: int = 1,
+                        tid: int = 1) -> List[Dict[str, object]]:
+    """Convert typed events into Trace Event Format entries."""
+    out: List[Dict[str, object]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": tid, "ts": 0,
+        "args": {"name": "repro"},
+    }]
+    begins: Dict[int, SpanBegin] = {}
+    for event in events:
+        if isinstance(event, SpanBegin):
+            begins[event.span_id] = event
+        elif isinstance(event, SpanEnd):
+            begin = begins.pop(event.span_id, None)
+            start = begin.ts if begin is not None else event.ts - event.duration
+            args: Dict[str, object] = {}
+            if begin is not None:
+                args.update(begin.attrs)
+            args.update(event.attrs)
+            out.append({
+                "name": event.name, "cat": "repro", "ph": "X",
+                "ts": round(start * 1e6, 3),
+                "dur": round(max(event.duration, 0.0) * 1e6, 3),
+                "pid": pid, "tid": tid, "args": args,
+            })
+        elif isinstance(event, Instant):
+            out.append({
+                "name": event.name, "cat": "repro", "ph": "i",
+                "ts": round(event.ts * 1e6, 3), "s": "t",
+                "pid": pid, "tid": tid, "args": dict(event.attrs),
+            })
+    # spans still open at export time: emit "B" so the trace stays
+    # loadable and visibly truncated rather than silently dropped
+    for begin in begins.values():
+        out.append({
+            "name": begin.name, "cat": "repro", "ph": "B",
+            "ts": round(begin.ts * 1e6, 3),
+            "pid": pid, "tid": tid, "args": dict(begin.attrs),
+        })
+    return out
+
+
+def to_chrome_trace(events: Iterable[Event]) -> Dict[str, object]:
+    """The full ``chrome://tracing`` JSON object form."""
+    return {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(events: Iterable[Event], path: str) -> None:
+    """Serialize ``events`` as a Chrome-trace JSON file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(events), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_trace_file(path: str) -> Union[Dict[str, object], List[object]]:
+    """Load a trace artifact: a Chrome-trace JSON object *or* a JSONL
+    event log (detected per line)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") or stripped.startswith("["):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            pass  # fall through: probably JSONL whose first line is a dict
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def validate_chrome_trace(payload: object) -> List[str]:
+    """Check ``payload`` against the exporter's schema.
+
+    Returns a list of error strings — empty means valid.  Accepts both
+    the JSON object form (``{"traceEvents": [...]}``) and the bare
+    array form, as the Trace Event Format spec does.
+    """
+    errors: List[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level 'traceEvents' missing or not a list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"trace must be a JSON object or array, got "
+                f"{type(payload).__name__}"]
+    if not events:
+        errors.append("trace contains no events")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty 'name'")
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r} "
+                          f"(expected one of {', '.join(_KNOWN_PHASES)})")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs a "
+                              f"non-negative 'dur'")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            errors.append(f"{where}: 'args' must be an object")
+        if len(errors) > 50:
+            errors.append("... (truncated)")
+            break
+    return errors
+
+
+def events_from_trace(payload: object) -> List[Event]:
+    """Best-effort reconstruction of typed events from a loaded trace
+    artifact — a JSONL event-dict list round-trips exactly; a Chrome
+    trace maps X→(SpanBegin, SpanEnd) and i→Instant."""
+    from repro.obs.events import event_from_dict
+
+    if isinstance(payload, list) and payload and isinstance(payload[0], dict) \
+            and "kind" in payload[0]:
+        return [event_from_dict(item) for item in payload]  # JSONL dicts
+    if isinstance(payload, dict):
+        raw = payload.get("traceEvents", [])
+    else:
+        raw = payload if isinstance(payload, list) else []
+    events: List[Event] = []
+    span_id = 0
+    stack: List[tuple] = []  # (end_ts, span_id) for nesting reconstruction
+    for item in sorted((e for e in raw if isinstance(e, dict)),
+                       key=lambda e: e.get("ts", 0)):
+        phase = item.get("ph")
+        ts = float(item.get("ts", 0)) / 1e6
+        if phase == "X":
+            dur = float(item.get("dur", 0)) / 1e6
+            while stack and stack[-1][0] <= ts + 1e-12:
+                stack.pop()
+            parent: Optional[int] = stack[-1][1] if stack else None
+            span_id += 1
+            events.append(SpanBegin(ts=ts, span_id=span_id, parent_id=parent,
+                                    name=str(item.get("name", "")),
+                                    attrs=dict(item.get("args") or {})))
+            events.append(SpanEnd(ts=ts + dur, span_id=span_id,
+                                  name=str(item.get("name", "")),
+                                  duration=dur))
+            stack.append((ts + dur, span_id))
+        elif phase == "i":
+            events.append(Instant(ts=ts, name=str(item.get("name", "")),
+                                  attrs=dict(item.get("args") or {})))
+    return events

@@ -1,0 +1,128 @@
+"""The typed event vocabulary of the tracing layer.
+
+Everything a :class:`~repro.obs.tracer.Tracer` observes is one of three
+event shapes, streamed to every attached sink in emission order:
+
+* :class:`SpanBegin` — a named span opened (``span_id``/``parent_id``
+  give the tree structure; ``attrs`` are the attributes known at open);
+* :class:`SpanEnd` — the matching close, carrying the measured
+  ``duration`` plus any attributes added while the span was open;
+* :class:`Instant` — a point event (a fault firing, a governor
+  exhaustion, a solver stride sample), parented to the innermost open
+  span.
+
+Timestamps are seconds relative to the tracer's epoch (its construction
+time), so traces from one run are directly comparable and exporters can
+scale to whatever unit they need (Chrome traces use microseconds).
+
+Events serialize to flat JSON dicts (:meth:`Event.as_dict`) — the JSONL
+sink writes exactly these — and :func:`event_from_dict` rebuilds them,
+so a JSONL log round-trips losslessly back into typed events for the
+``repro trace summarize`` pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["Event", "SpanBegin", "SpanEnd", "Instant", "event_from_dict"]
+
+
+@dataclass
+class Event:
+    """Base of every trace event; ``ts`` is seconds since tracer epoch."""
+
+    ts: float
+
+    kind = "event"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "ts": round(self.ts, 9)}
+
+
+@dataclass
+class SpanBegin(Event):
+    """A span opened."""
+
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    name: str = ""
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    kind = "span_begin"
+
+    def as_dict(self) -> Dict[str, object]:
+        out = super().as_dict()
+        out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        out["name"] = self.name
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+@dataclass
+class SpanEnd(Event):
+    """A span closed; ``attrs`` holds only the attributes added at (or
+    after) open — the begin event's attributes are not repeated."""
+
+    span_id: int = 0
+    name: str = ""
+    duration: float = 0.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    kind = "span_end"
+
+    def as_dict(self) -> Dict[str, object]:
+        out = super().as_dict()
+        out["span_id"] = self.span_id
+        out["name"] = self.name
+        out["duration"] = round(self.duration, 9)
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+@dataclass
+class Instant(Event):
+    """A point event, parented to the innermost open span (if any)."""
+
+    name: str = ""
+    span_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    kind = "instant"
+
+    def as_dict(self) -> Dict[str, object]:
+        out = super().as_dict()
+        out["name"] = self.name
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+_KINDS = {"span_begin": SpanBegin, "span_end": SpanEnd, "instant": Instant}
+
+
+def event_from_dict(payload: Dict[str, object]) -> Event:
+    """Rebuild a typed event from its :meth:`Event.as_dict` form."""
+    kind = payload.get("kind")
+    cls = _KINDS.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    ts = float(payload["ts"])  # type: ignore[arg-type]
+    attrs = dict(payload.get("attrs", ()))  # type: ignore[arg-type]
+    if cls is SpanBegin:
+        return SpanBegin(ts=ts, span_id=int(payload["span_id"]),
+                         parent_id=payload.get("parent_id"),
+                         name=str(payload["name"]), attrs=attrs)
+    if cls is SpanEnd:
+        return SpanEnd(ts=ts, span_id=int(payload["span_id"]),
+                       name=str(payload["name"]),
+                       duration=float(payload["duration"]), attrs=attrs)
+    return Instant(ts=ts, name=str(payload["name"]),
+                   span_id=payload.get("span_id"), attrs=attrs)

@@ -1,0 +1,89 @@
+"""Trace summarization — the ``repro trace summarize`` backend.
+
+Collapses an event stream (typed events, a JSONL log, or an exported
+Chrome trace) into the report a human wants before opening a flame
+chart: wall-clock covered, per-span-name aggregates (count / total /
+max), the degradation-ladder attempt table, and instant-event counts
+(faults fired, governor exhaustions, stride samples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.chrome import events_from_trace
+from repro.obs.events import Event, Instant, SpanBegin, SpanEnd
+
+__all__ = ["summarize_events", "summarize_trace_payload"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def summarize_events(events: Iterable[Event]) -> str:
+    """Render the summary block for a typed event stream."""
+    begins: Dict[int, SpanBegin] = {}
+    #: name -> [count, total, max]
+    spans: Dict[str, List[float]] = {}
+    attempts: List[Tuple[Dict[str, object], float]] = []
+    instants: Dict[str, int] = {}
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    for event in events:
+        t_min = event.ts if t_min is None else min(t_min, event.ts)
+        t_max = event.ts if t_max is None else max(t_max, event.ts)
+        if isinstance(event, SpanBegin):
+            begins[event.span_id] = event
+        elif isinstance(event, SpanEnd):
+            entry = spans.setdefault(event.name, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += event.duration
+            entry[2] = max(entry[2], event.duration)
+            if event.name == "attempt":
+                begin = begins.get(event.span_id)
+                attrs: Dict[str, object] = {}
+                if begin is not None:
+                    attrs.update(begin.attrs)
+                attrs.update(event.attrs)
+                attempts.append((attrs, event.duration))
+        elif isinstance(event, Instant):
+            instants[event.name] = instants.get(event.name, 0) + 1
+
+    lines: List[str] = []
+    covered = (t_max - t_min) if t_min is not None and t_max is not None else 0.0
+    lines.append(f"trace: {sum(c for c, _, _ in spans.values())} spans, "
+                 f"{sum(instants.values())} instants, "
+                 f"{_fmt_seconds(covered)} covered")
+    if spans:
+        lines.append("")
+        lines.append(f"{'span':<24} {'count':>7} {'total':>10} {'max':>10}")
+        for name in sorted(spans, key=lambda n: -spans[n][1]):
+            count, total, peak = spans[name]
+            lines.append(f"{name:<24} {int(count):>7} "
+                         f"{_fmt_seconds(total):>10} {_fmt_seconds(peak):>10}")
+    if attempts:
+        lines.append("")
+        lines.append("degradation-ladder attempts:")
+        for attrs, duration in attempts:
+            config = attrs.get("config", "?")
+            outcome = attrs.get("outcome", "?")
+            detail = ""
+            if attrs.get("cause"):
+                detail = f" ({attrs.get('cause')} in {attrs.get('phase')})"
+            lines.append(f"  {config}: {outcome}{detail} "
+                         f"[{_fmt_seconds(duration)}]")
+    if instants:
+        lines.append("")
+        lines.append("instant events:")
+        for name in sorted(instants):
+            lines.append(f"  {name} x{instants[name]}")
+    return "\n".join(lines)
+
+
+def summarize_trace_payload(payload: object) -> str:
+    """Summarize a loaded trace artifact (Chrome trace object or JSONL
+    event-dict list — see :func:`repro.obs.chrome.load_trace_file`)."""
+    return summarize_events(events_from_trace(payload))

@@ -105,6 +105,7 @@ def resolve_scc(value: Optional[object] = None) -> bool:
 def condense_copy_graph(
     succs: List[List[Tuple[int, Optional[str]]]],
     uf: "IntDisjointSets",
+    tracer=None,
 ) -> Tuple[List[List[int]], Dict[int, int]]:
     """One Tarjan pass over the copy-edge subgraph of the live nodes.
 
@@ -126,6 +127,9 @@ def condense_copy_graph(
 
     The traversal is fully iterative (explicit stacks); recursion depth
     is not bounded by component size.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, optional) receives one
+    ``scc:condense`` instant with the pass's visited/cycle counts.
     """
     find = uf.find
     parent = uf.parent
@@ -193,4 +197,7 @@ def condense_copy_graph(
     last = emitted - 1
     order = {node: last - e
              for node, e in enumerate(emit) if e >= 0}
+    if tracer is not None:
+        tracer.instant("scc:condense", visited=len(order),
+                       components=emitted, cycles=len(cycles))
     return cycles, order

@@ -222,6 +222,14 @@ class Solver:
     ``scc`` switches constraint-graph condensation and wave scheduling
     (``None`` resolves through :func:`repro.pta.scc.resolve_scc`:
     explicit value → ``$REPRO_SCC`` → on).
+
+    ``tracer`` optionally records the solve as spans
+    (:class:`repro.obs.Tracer`): one ``solve`` span for the fixpoint,
+    a contiguous chain of ``stride`` window spans rotated at the check
+    gate (so the flame chart shows where the iterations went without
+    per-pop cost — the hot loop pays exactly one ``is not None`` test
+    per gate), and one ``scc:collapse`` span per cycle-elimination
+    pass.
     """
 
     def __init__(
@@ -235,6 +243,7 @@ class Solver:
         governor=None,
         phase_label: str = "main",
         scc: Optional[object] = None,
+        tracer=None,
     ) -> None:
         if program.entry is None:
             raise ValueError("program has no entry method")
@@ -304,6 +313,11 @@ class Solver:
         self.solve_seconds = 0.0
         self._stride_mask = TIMEOUT_CHECK_STRIDE - 1
         self._fault_plan = None
+        self.tracer = tracer
+        # current stride-window span id + counters at its start
+        self._window_span: Optional[int] = None
+        self._window_start_iter = 0
+        self._window_start_facts = 0
 
         # --- constraint-graph condensation state -----------------------
         # Union-find over node ids: find(node) is the live representative
@@ -374,11 +388,20 @@ class Solver:
             stride = min(stride, plan.stride)
         self._stride_mask = stride - 1
         self._fault_plan = plan
+        tracer = self.tracer
+        solve_span = None
+        if tracer is not None:
+            solve_span = tracer.begin(
+                "solve", phase=self.phase_label, backend=self.pts_backend,
+                scc=self.use_scc,
+            )
         scope = (self.governor.ensure_phase(self.phase_label)
                  if self.governor is not None else nullcontext())
         self._add_reachable(EMPTY_CONTEXT, self.program.entry)
         try:
             with scope:
+                if tracer is not None:
+                    self._begin_window()
                 if self.use_scc:
                     # rank the statically-known topology (and collapse
                     # any cycles already present) before the first pop —
@@ -396,7 +419,53 @@ class Solver:
         finally:
             self.solve_seconds = time.monotonic() - start
             self._record_perf()
+            if tracer is not None:
+                self._close_window(
+                    len(self._pending) if self.use_scc
+                    else len(self._worklist))
+                tracer.end(solve_span, iterations=self.iterations,
+                           seconds=round(self.solve_seconds, 6))
         return PointsToResult(self)
+
+    # ------------------------------------------------------------------
+    # Stride-window tracing (tracer present only; never on the per-pop
+    # hot path — rotation happens at the existing check gate)
+    # ------------------------------------------------------------------
+    def _begin_window(self) -> None:
+        """Open the first ``stride`` window span."""
+        self._window_start_iter = self.iterations
+        self._window_start_facts = 0
+        self._window_span = self.tracer.begin("stride")
+
+    def _rotate_window(self, iterations: int, worklist: int,
+                       facts: int) -> None:
+        """Close the current ``stride`` window with its counters and
+        open the next one, keeping the chain contiguous under
+        ``solve``."""
+        tracer = self.tracer
+        tracer.end(
+            self._window_span,
+            iterations=iterations - self._window_start_iter,
+            worklist=worklist,
+            facts=facts - self._window_start_facts,
+        )
+        self._window_start_iter = iterations
+        self._window_start_facts = facts
+        self._window_span = tracer.begin("stride")
+
+    def _close_window(self, worklist: int) -> None:
+        """Close the trailing window at solve end — including when an
+        exhaustion is escaping, so the flame chart shows the window
+        that burned the budget."""
+        if self._window_span is None:
+            return
+        self.tracer.end(
+            self._window_span,
+            iterations=self.iterations - self._window_start_iter,
+            worklist=worklist,
+            facts=self.counters["facts_propagated"] - self._window_start_facts,
+        )
+        self._window_span = None
 
     def _run_bits(self, deadline: Optional[float]) -> None:
         """Fixpoint loop, bitset backend: sets are ints, the surviving
@@ -412,6 +481,7 @@ class Solver:
         governor = self.governor
         plan = self._fault_plan
         phase = self.phase_label
+        tracer = self.tracer
         stride_mask = self._stride_mask
         iterations = self.iterations
         facts = 0
@@ -436,6 +506,8 @@ class Solver:
                                        worklist=len(worklist))
                     if plan is not None:
                         plan.check_iteration(iterations, phase)
+                    if tracer is not None:
+                        self._rotate_window(iterations, len(worklist), facts)
                 node, delta = pop()
                 known = pts[node]
                 # delta & ~known, without materializing the full-width
@@ -474,6 +546,7 @@ class Solver:
         governor = self.governor
         plan = self._fault_plan
         phase = self.phase_label
+        tracer = self.tracer
         stride_mask = self._stride_mask
         iterations = self.iterations
         facts = 0
@@ -496,6 +569,8 @@ class Solver:
                                        worklist=len(worklist))
                     if plan is not None:
                         plan.check_iteration(iterations, phase)
+                    if tracer is not None:
+                        self._rotate_window(iterations, len(worklist), facts)
                 node, delta = pop()
                 known = pts[node]
                 delta = delta - known
@@ -585,6 +660,7 @@ class Solver:
         governor = self.governor
         plan = self._fault_plan
         phase = self.phase_label
+        tracer = self.tracer
         stride_mask = self._stride_mask
         push = self._push
         find = self._find
@@ -610,6 +686,8 @@ class Solver:
                                        worklist=len(pending))
                     if plan is not None:
                         plan.check_iteration(iterations, phase)
+                    if tracer is not None:
+                        self._rotate_window(iterations, len(pending), facts)
                     self._maybe_collapse()
                 node = heappop(heap)[1]
                 if parent[node] != node:
@@ -655,6 +733,7 @@ class Solver:
         governor = self.governor
         plan = self._fault_plan
         phase = self.phase_label
+        tracer = self.tracer
         stride_mask = self._stride_mask
         push = self._push
         find = self._find
@@ -680,6 +759,8 @@ class Solver:
                                        worklist=len(pending))
                     if plan is not None:
                         plan.check_iteration(iterations, phase)
+                    if tracer is not None:
+                        self._rotate_window(iterations, len(pending), facts)
                     self._maybe_collapse()
                 node = heappop(heap)[1]
                 if parent[node] != node:
@@ -743,6 +824,21 @@ class Solver:
         return True
 
     def _collapse_cycles(self) -> None:
+        """Run one cycle-elimination pass, traced as ``scc:collapse``
+        when a tracer is attached (pass stats land as end attributes)."""
+        tracer = self.tracer
+        if tracer is None:
+            self._collapse_cycles_impl()
+            return
+        counters = self.counters
+        with tracer.span("scc:collapse") as attrs:
+            before = counters["sccs_collapsed"]
+            merged_before = counters["scc_nodes_merged"]
+            self._collapse_cycles_impl()
+            attrs["collapsed"] = counters["sccs_collapsed"] - before
+            attrs["nodes_merged"] = counters["scc_nodes_merged"] - merged_before
+
+    def _collapse_cycles_impl(self) -> None:
         """Detect copy-edge SCCs, collapse each into one representative,
         and refresh the wave priorities.
 
@@ -763,7 +859,8 @@ class Solver:
         counters["scc_passes"] += 1
         uf = self._uf
         find = self._find
-        cycles, order = condense_copy_graph(self._succs, uf)
+        cycles, order = condense_copy_graph(self._succs, uf,
+                                            tracer=self.tracer)
         topo = self._topo_order
         for node, position in order.items():
             topo[node] = position
@@ -1242,9 +1339,9 @@ def solve(program: Program, selector: Optional[ContextSelector] = None,
           pts_backend: Optional[str] = None,
           perf: Optional[PerfRecorder] = None,
           governor=None, phase_label: str = "main",
-          scc: Optional[object] = None):
+          scc: Optional[object] = None, tracer=None):
     """Convenience wrapper: build a :class:`Solver` and run it."""
     return Solver(program, selector, heap_model, timeout_seconds,
                   pts_backend=pts_backend, perf=perf,
                   governor=governor, phase_label=phase_label,
-                  scc=scc).solve()
+                  scc=scc, tracer=tracer).solve()

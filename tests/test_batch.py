@@ -130,6 +130,90 @@ class TestTransientRetry:
         assert [r.status for r in result.records] == ["failed", "ok"]
 
 
+class TestBackoffSleeper:
+    """The backoff waits go through an injectable sleeper, every
+    planned delay is recorded, and giving up never sleeps."""
+
+    def test_injected_sleeper_replaces_real_sleep(self):
+        slept = []
+        plan = FaultPlan([FaultSpec(point="main-boundary",
+                                    kind="transient", times=2)])
+        with faults.active(plan):
+            result = run_batch(_corpus("cache"), max_retries=2,
+                               backoff_seconds=0.5, seed=3,
+                               sleeper=slept.append)
+        record = result.records[0]
+        assert record.status == "ok"
+        assert record.retries == 2
+        assert slept == record.backoff_delays
+        # jittered exponential: base * 2^(n-1) * [0.5, 1.5)
+        assert 0.25 <= slept[0] < 0.75
+        assert 0.5 <= slept[1] < 1.5
+
+    def test_no_sleep_after_final_failure(self):
+        slept = []
+        plan = FaultPlan([FaultSpec(point="main-boundary",
+                                    kind="transient", times=-1)])
+        with faults.active(plan):
+            # a real post-failure sleep at this base would stall the test
+            result = run_batch(_corpus("cache"), max_retries=2,
+                               backoff_seconds=10.0,
+                               sleeper=slept.append)
+        record = result.records[0]
+        assert record.status == "failed"
+        assert record.retries == 2
+        # three delays planned (one per transient), only two slept —
+        # the giving-up path must not delay the rest of the batch
+        assert len(record.backoff_delays) == 3
+        assert slept == record.backoff_delays[:2]
+
+    def test_backoff_delays_deterministic_under_seed(self):
+        def delays():
+            plan = FaultPlan([FaultSpec(point="main-boundary",
+                                        kind="transient", times=2)])
+            with faults.active(plan):
+                result = run_batch(_corpus("cache"), seed=11,
+                                   backoff_seconds=0.01,
+                                   sleeper=lambda _delay: None)
+            return result.records[0].backoff_delays
+
+        assert delays() == delays()
+
+    def test_no_delays_recorded_without_transients(self):
+        result = run_batch(_corpus("cache"))
+        assert result.records[0].backoff_delays == []
+        assert "backoff_delays" not in result.records[0].as_dict()
+
+
+class TestBatchTracing:
+    def test_trace_dir_writes_one_chrome_trace_per_program(self, tmp_path):
+        from repro import obs
+
+        run_batch(_corpus("cache", "iterator"), trace_dir=str(tmp_path))
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["cache.trace.json", "iterator.trace.json"]
+        payload = obs.load_trace_file(str(tmp_path / "cache.trace.json"))
+        assert obs.validate_chrome_trace(payload) == []
+        names = {e.get("name") for e in payload["traceEvents"]}
+        assert "batch:program" in names
+        assert "phase:main" in names
+
+    def test_shared_tracer_sees_batch_spans_and_backoff(self):
+        from repro import obs
+
+        sink = obs.InMemorySink()
+        tracer = obs.Tracer(sinks=(sink,))
+        plan = FaultPlan([FaultSpec(point="main-boundary",
+                                    kind="transient", times=1)])
+        with faults.active(plan):
+            run_batch(_corpus("cache"), tracer=tracer,
+                      backoff_seconds=0.001, sleeper=lambda _delay: None)
+        spans = sink.find("batch:program")
+        assert len(spans) == 1
+        assert spans[0].attrs["program"] == "cache"
+        assert "batch.backoff" in sink.instant_names()
+
+
 class TestAcceptance:
     """ISSUE acceptance: fault injection triggers every degradation path
     deterministically under a fixed seed while the batch completes."""

@@ -138,6 +138,33 @@ class TestFiringSemantics:
         assert plan.spike_bytes() == 123
         assert plan.log == [("memory-spike", "bytes=123")]
 
+    def test_spike_is_sticky_like_a_watermark(self):
+        # peak-RSS never comes back down, so neither does the spike:
+        # once the activations run out the plan keeps reporting the
+        # high-water mark
+        plan = FaultPlan([FaultSpec(point="memory-spike", times=1,
+                                    bytes=1 << 30)])
+        assert plan.spike_bytes() == 1 << 30
+        assert plan.spike_bytes() == 1 << 30  # activation spent, still high
+        assert plan.remaining("memory-spike") == 0
+        assert plan.spiked_bytes == 1 << 30  # no-consume property
+
+    def test_spike_logs_only_on_growth(self):
+        plan = FaultPlan([FaultSpec(point="memory-spike", times=-1,
+                                    bytes=1 << 20)])
+        plan.spike_bytes()
+        plan.spike_bytes()
+        plan.spike_bytes()
+        assert plan.log == [("memory-spike", f"bytes={1 << 20}")]
+
+    def test_spiked_bytes_does_not_consume_activations(self):
+        plan = FaultPlan([FaultSpec(point="memory-spike", times=1,
+                                    bytes=1 << 20)])
+        assert plan.spiked_bytes == 0
+        assert plan.remaining("memory-spike") == 1  # peeking is free
+        assert plan.spike_bytes() == 1 << 20
+        assert plan.spiked_bytes == 1 << 20
+
 
 class TestActivation:
     def test_active_scopes_and_restores(self):

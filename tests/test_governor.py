@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro import faults
 from repro.analysis.governor import (
     PHASES,
     MemoryBudgetExceeded,
@@ -15,6 +16,7 @@ from repro.analysis.governor import (
     WorkBudgetExceeded,
 )
 from repro.analysis.pipeline import run_analysis, run_pre_analysis
+from repro.faults import FaultPlan, FaultSpec
 from repro.pta.bitset import BACKEND_NAMES
 from repro.pta.solver import AnalysisTimeout, Solver
 from repro.resources import memory_watermark_bytes
@@ -85,16 +87,46 @@ class TestChecks:
             with pytest.raises(WorkBudgetExceeded):
                 governor.check(worklist=6)
 
-    def test_memory_budget_uses_watermark(self):
-        # the process has certainly retained more than one byte
-        assert memory_watermark_bytes() > 1
+    def test_memory_budget_ignores_preexisting_watermark(self):
+        # the process watermark is far above the budget already, but a
+        # fresh governor samples it as the baseline — only *growth*
+        # beyond it counts against the budget
+        assert memory_watermark_bytes() > (1 << 20)
         governor = ResourceGovernor(
-            budgets={"main": PhaseBudget(memory_bytes=1)})
-        with pytest.raises(MemoryBudgetExceeded) as info:
-            with governor.phase("main"):
-                governor.check()
+            budgets={"main": PhaseBudget(memory_bytes=1 << 20)})
+        with governor.phase("main"):
+            governor.check()  # must not raise
+
+    def test_memory_budget_is_delta_from_baseline(self):
+        # a spike injected *after* the baseline sample is growth and
+        # must trip the budget; ``observed`` reports the delta
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(memory_bytes=1 << 20)})
+        plan = FaultPlan([FaultSpec(point="memory-spike", bytes=1 << 30)])
+        with faults.active(plan):
+            with pytest.raises(MemoryBudgetExceeded) as info:
+                with governor.phase("main"):
+                    governor.check()
         assert info.value.cause == "memory"
-        assert info.value.observed > 1
+        assert info.value.observed >= 1 << 30
+        report = governor.report()
+        assert report["main"]["memory_delta_bytes"] >= 1 << 30
+
+    def test_begin_attempt_rebaselines_after_trip(self):
+        # the watermark never falls, so after one trip a new attempt
+        # must re-sample its baseline (including the sticky spike) or
+        # it would spuriously exhaust forever
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(memory_bytes=1 << 20)})
+        plan = FaultPlan([FaultSpec(point="memory-spike", times=-1,
+                                    bytes=1 << 30)])
+        with faults.active(plan):
+            with pytest.raises(MemoryBudgetExceeded):
+                with governor.phase("main"):
+                    governor.check()
+            governor.begin_attempt()
+            with governor.phase("main"):
+                governor.check()  # delta against the new baseline ~ 0
 
     def test_phase_boundary_check_catches_unchecked_phases(self):
         # fpg/merge have no internal check sites; the budget must still
@@ -187,3 +219,29 @@ class TestSolverIntegration:
         assert run.result is None
         assert run.failed_phase == "main"
         assert run.exhaustion_cause == "work"
+
+    def test_ladder_rescues_rung_after_memory_trip(self, tiny_program,
+                                                   backend):
+        """Regression: the memory watermark has peak-RSS semantics (it
+        never decreases), so budgeting the absolute value let one
+        memory exhaustion poison every later degradation rung — the
+        always-armed spike below kept every rung's sample inflated, and
+        the run could never be rescued.  Per-attempt delta budgeting
+        (``begin_attempt`` re-baselining) makes the second rung's own
+        growth the thing that is budgeted, and the ladder recovers."""
+        governor = ResourceGovernor(
+            budgets={"main": PhaseBudget(memory_bytes=1 << 30)},
+            check_stride=1)
+        plan = FaultPlan([FaultSpec(point="memory-spike", times=-1,
+                                    bytes=1 << 40)])
+        with faults.active(plan):
+            run = run_analysis(tiny_program, "2obj", pts_backend=backend,
+                               governor=governor, degrade=True)
+        assert run.degraded
+        assert run.result is not None
+        assert run.degraded_from == "2obj"
+        assert run.config.name == "2type"
+        assert len(run.attempts) == 2
+        assert run.attempts[0].cause == "memory"
+        assert run.attempts[0].phase == "main"
+        assert run.attempts[1].succeeded
