@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional
 
 from repro import faults
@@ -58,6 +58,7 @@ from repro.resources import (
 __all__ = [
     "PHASES",
     "PhaseBudget",
+    "GovernorSpec",
     "ResourceGovernor",
     "ResourceExhausted",
     "TimeBudgetExceeded",
@@ -84,6 +85,58 @@ class PhaseBudget:
         return (self.wall_seconds is None and self.memory_bytes is None
                 and self.max_iterations is None and self.max_objects is None
                 and self.max_worklist is None)
+
+
+@dataclass(frozen=True)
+class GovernorSpec:
+    """A picklable recipe for building a :class:`ResourceGovernor`.
+
+    Governors are stateful and single-run, so they cannot cross a
+    process boundary; a spec can.  The sharded batch runner
+    (:mod:`repro.bench.batch` with ``--jobs``) ships one spec per
+    worker and builds a fresh governor per attempt inside the worker.
+
+    :meth:`slice` derives the per-worker budget from a machine-level
+    one, hopperkv-style fair-share: *machine-shared* axes (the memory
+    watermark — all workers grow the same machine's RSS) are divided
+    by the number of concurrent workers, while *per-program* axes
+    (wall-clock, iterations, objects) pass through unchanged — a
+    program's own budget means the same thing at any parallelism.
+    """
+
+    wall_seconds: Optional[float] = None
+    memory_mb: Optional[float] = None
+    max_iterations: Optional[int] = None
+    max_objects: Optional[int] = None
+    check_stride: int = 1024
+
+    @property
+    def bounded(self) -> bool:
+        return (self.wall_seconds is not None or self.memory_mb is not None
+                or self.max_iterations is not None
+                or self.max_objects is not None)
+
+    def slice(self, workers: int) -> "GovernorSpec":
+        """The fair-share spec for one of ``workers`` concurrent
+        shards (identity at ``workers <= 1``, so ``--jobs 1`` budgets
+        exactly like a serial run)."""
+        if workers <= 1 or self.memory_mb is None:
+            return self
+        return replace(self, memory_mb=self.memory_mb / workers)
+
+    def build(self) -> Optional["ResourceGovernor"]:
+        """A fresh governor enforcing this spec, or ``None`` when every
+        axis is unbounded (an unbounded run should pay no governor
+        overhead at all)."""
+        if not self.bounded:
+            return None
+        return ResourceGovernor.from_limits(
+            wall_seconds=self.wall_seconds,
+            memory_mb=self.memory_mb,
+            max_iterations=self.max_iterations,
+            max_objects=self.max_objects,
+            check_stride=self.check_stride,
+        )
 
 
 class ResourceGovernor:

@@ -6,7 +6,8 @@ import sys
 from typing import Callable, Dict, List
 
 from repro.bench import (ablation, backends, batch, compare, fig8, fig9,
-                         motivating, prestats, report, scc, table1, table2)
+                         motivating, parallel, prestats, report, scc,
+                         table1, table2)
 
 _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "motivating": motivating.main,
@@ -20,6 +21,7 @@ _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "backends": backends.main,
     "scc": scc.main,
     "batch": batch.main,
+    "parallel": parallel.main,
     "report": report.main,
 }
 

@@ -28,6 +28,30 @@ hand-written corpus (``--corpus``), and/or mini-Java files
 per solve) plus the governor knobs (``--max-iterations``,
 ``--memory-mb``); fault injection from ``--faults``/``--faults-seed``;
 ``--trace-dir`` writes one Chrome trace (:mod:`repro.obs`) per program.
+
+**Sharded execution.**  With ``--jobs N`` (or ``$REPRO_JOBS``; see
+:mod:`repro.parallel`) the batch fans programs out over a worker pool.
+Sharded mode trades the legacy serial path's *shared* state for
+*derived* per-program state so the two modes agree wherever they can
+and the sharded mode is identical at any worker count:
+
+* each program's backoff jitter comes from its own
+  ``Random(derive_seed(seed, name))`` stream instead of one RNG
+  consumed in arrival order;
+* the fault spec is re-seeded per program
+  (:meth:`repro.faults.FaultPlan.derive`) and installed inside the
+  worker process, so firings depend only on ``(spec, seed, name)`` —
+  never on scheduling;
+* machine-shared governor budgets (memory) are divided across workers
+  via :meth:`repro.analysis.governor.GovernorSpec.slice`;
+* worker traces come back as event payloads (:mod:`repro.obs.events`)
+  and the parent writes the per-program Chrome traces;
+* records land in **input order** whatever the completion order, so
+  serial and parallel reports render identically.
+
+A ``--jobs 1`` run uses the same derived per-program state executed
+inline, which is why it matches ``--jobs 4`` exactly; only omitting
+``jobs`` altogether selects the legacy shared-state semantics.
 """
 
 from __future__ import annotations
@@ -38,14 +62,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import faults as faults_mod
 from repro import obs
-from repro.analysis.governor import ResourceGovernor
+from repro.analysis.governor import GovernorSpec, ResourceGovernor
 from repro.analysis.pipeline import run_analysis
 from repro.bench.reporting import format_seconds, render_table
-from repro.faults import TransientFault
+from repro.faults import TransientFault, derive_seed
 from repro.ir.program import Program
+from repro.parallel import JOBS_ENV_VAR, parallel_map, picklable, resolve_jobs
 
-__all__ = ["BatchRecord", "BatchResult", "run_batch", "main"]
+__all__ = ["BatchRecord", "BatchResult", "ShardTask", "run_batch", "main"]
 
 #: Statuses that still produced a usable result.
 USABLE_STATUSES = ("ok", "degraded")
@@ -94,7 +120,8 @@ class BatchRecord:
 
 @dataclass
 class BatchResult:
-    """All records of one batch run."""
+    """All records of one batch run, always in program **input order**
+    (the sharded runner re-sorts completions by submission index)."""
 
     config: str
     records: List[BatchRecord] = field(default_factory=list)
@@ -159,6 +186,167 @@ def _trace_slug(name: str) -> str:
     return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
 
 
+def _trace_slugs(names: Sequence[str]) -> List[str]:
+    """Collision-free trace-file stems, one per name, in input order.
+
+    Distinct program names can slug identically (``a/b`` and ``a:b``
+    both become ``a_b``), which used to make later traces silently
+    overwrite earlier ones.  The first occurrence keeps the bare slug;
+    later collisions get ``-2``, ``-3``, … (probing past any name that
+    already slugs to the suffixed form)."""
+    slugs: List[str] = []
+    used: set = set()
+    for name in names:
+        base = _trace_slug(name)
+        slug, n = base, 1
+        while slug in used:
+            n += 1
+            slug = f"{base}-{n}"
+        used.add(slug)
+        slugs.append(slug)
+    return slugs
+
+
+def _run_program(
+    name: str,
+    source: ProgramSource,
+    *,
+    config: str,
+    budget: Optional[float],
+    degrade: Union[bool, str, Sequence[str]],
+    max_retries: int,
+    backoff_seconds: float,
+    rng: random.Random,
+    governor_factory: Optional[Callable[[], Optional[ResourceGovernor]]],
+    sleeper: Callable[[float], None],
+    tracer: Optional[obs.Tracer],
+) -> BatchRecord:
+    """One program through the isolation boundary; the unit both the
+    legacy serial loop and the sharded workers execute."""
+    retries = 0
+    delays: List[float] = []
+    span = None
+    if tracer is not None:
+        span = tracer.begin("batch:program", program=name, config=config)
+    start = time.monotonic()
+    while True:
+        try:
+            program = source() if callable(source) else source
+            governor = governor_factory() if governor_factory else None
+            run = run_analysis(program, config, timeout_seconds=budget,
+                               governor=governor, degrade=degrade,
+                               tracer=tracer)
+        except TransientFault as exc:
+            # the backoff is planned (and recorded) for every
+            # transient, but never slept once the retries are spent
+            # — giving up must not delay the rest of the batch
+            delay = backoff_seconds * (2 ** retries) * (0.5 + rng.random())
+            delays.append(delay)
+            if retries >= max_retries:
+                record = BatchRecord(
+                    program=name, config=config, status="failed",
+                    seconds=time.monotonic() - start, retries=retries,
+                    error=f"transient fault persisted after "
+                          f"{retries} retries: {exc}",
+                    backoff_delays=delays,
+                )
+                break
+            retries += 1
+            if tracer is not None:
+                tracer.instant("batch.backoff", program=name,
+                               retry=retries, delay=round(delay, 6))
+            sleeper(delay)
+            continue
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            record = BatchRecord(
+                program=name, config=config, status="failed",
+                seconds=time.monotonic() - start, retries=retries,
+                error=f"{type(exc).__name__}: {exc}",
+                backoff_delays=delays,
+            )
+            break
+        else:
+            status, degraded_from, failed_phase, cause = _classify(run)
+            record = BatchRecord(
+                program=name, config=config, status=status,
+                seconds=time.monotonic() - start, retries=retries,
+                metrics=dict(run.metrics()),
+                degraded_from=degraded_from,
+                failed_phase=failed_phase,
+                exhaustion_cause=cause,
+                backoff_delays=delays,
+            )
+            break
+    if tracer is not None:
+        tracer.end(span, status=record.status, retries=record.retries)
+    return record
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One program's worth of sharded-batch work, picklable end to end.
+
+    Everything a worker needs is derived, not shared: the backoff RNG
+    and the fault plan both come from ``derive_seed(seed, name)`` /
+    ``FaultPlan.derive``, and the governor recipe is sliced by
+    ``workers`` before building, so the task's behavior is a pure
+    function of its fields — independent of which pool runs it.
+    """
+
+    index: int
+    name: str
+    source: ProgramSource
+    config: str
+    budget: Optional[float]
+    degrade: Union[bool, str, Tuple[str, ...]]
+    max_retries: int
+    backoff_seconds: float
+    seed: int
+    workers: int
+    governor: Optional[GovernorSpec] = None
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
+    collect_trace: bool = False
+
+
+def _run_shard_task(
+    task: ShardTask,
+    sleeper: Callable[[float], None] = time.sleep,
+) -> Tuple[int, BatchRecord, Optional[List[Dict[str, object]]]]:
+    """Execute one :class:`ShardTask`; the process-pool entry point.
+
+    Returns ``(submission index, record, trace events or None)`` — the
+    index lets the parent restore input order, and the events (plain
+    dicts, :func:`repro.obs.events_to_dicts`) survive the pickle trip
+    home where a live tracer would not.
+    """
+    from contextlib import nullcontext
+
+    rng = random.Random(derive_seed(task.seed, task.name))
+    mem_sink = obs.InMemorySink() if task.collect_trace else None
+    tracer = obs.Tracer(sinks=(mem_sink,)) if mem_sink is not None else None
+    governor_factory = None
+    if task.governor is not None and task.governor.bounded:
+        governor_factory = task.governor.slice(task.workers).build
+    plan_scope = (
+        faults_mod.active(faults_mod.FaultPlan.derive(
+            task.fault_spec, task.fault_seed, task.name, stride=1))
+        if task.fault_spec else nullcontext()
+    )
+    with plan_scope:
+        record = _run_program(
+            task.name, task.source,
+            config=task.config, budget=task.budget, degrade=task.degrade,
+            max_retries=task.max_retries,
+            backoff_seconds=task.backoff_seconds,
+            rng=rng, governor_factory=governor_factory,
+            sleeper=sleeper, tracer=tracer,
+        )
+    events = (obs.events_to_dicts(mem_sink.events)
+              if mem_sink is not None else None)
+    return task.index, record, events
+
+
 def run_batch(
     programs: Iterable[Tuple[str, ProgramSource]],
     config: str = "M-2obj",
@@ -172,6 +360,11 @@ def run_batch(
     sleeper: Callable[[float], None] = time.sleep,
     tracer: Optional[obs.Tracer] = None,
     trace_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
+    pool: str = "process",
+    governor_spec: Optional[GovernorSpec] = None,
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
 ) -> BatchResult:
     """Run ``config`` over every program, isolating failures.
 
@@ -180,9 +373,11 @@ def run_batch(
     fails to *load* (parse error, generator bug) becomes a ``failed``
     record instead of killing the batch.  ``governor_factory`` builds a
     fresh :class:`~repro.analysis.governor.ResourceGovernor` per attempt
-    (governors are stateful).  Transient faults are retried up to
-    ``max_retries`` times with jittered exponential backoff seeded by
-    ``seed`` — deterministic, like everything else in the fault path.
+    (governors are stateful); ``governor_spec`` is the picklable
+    equivalent and the only form sharded mode accepts.  Transient
+    faults are retried up to ``max_retries`` times with jittered
+    exponential backoff seeded by ``seed`` — deterministic, like
+    everything else in the fault path.
 
     ``sleeper`` performs the backoff waits (injectable so tests never
     sleep real wall-clock); every *planned* delay is recorded on the
@@ -191,80 +386,67 @@ def run_batch(
     in a ``batch:program`` span and each slept backoff in a
     ``batch.backoff`` instant; ``trace_dir`` instead gives every
     program its own tracer and writes one Chrome trace file per
-    program into the directory.
+    program into the directory (collision-free names even when
+    distinct program names slug identically).
+
+    ``jobs=None`` (the default) is the legacy serial path: one shared
+    backoff RNG consumed in arrival order, any ambient fault plan
+    shared across the whole batch.  Any integer ``jobs`` — including 1
+    — selects **sharded** semantics instead (see the module docstring):
+    per-program derived RNGs and fault plans (``fault_spec``/
+    ``fault_seed``), ``governor_spec`` sliced across workers, records
+    restored to input order.  ``pool`` picks ``"process"`` (default;
+    unpicklable sources transparently fall back to the parent) or
+    ``"thread"``; per-program fault plans install process-globally, so
+    ``fault_spec`` with a thread pool and ``jobs > 1`` is rejected
+    rather than racy.  Worker processes sleep their backoffs with
+    ``time.sleep``; a custom ``sleeper`` is honored wherever the task
+    runs in-parent (``jobs=1``, thread pool, or pickle fallback).
     """
-    rng = random.Random(seed)
-    result = BatchResult(config=config)
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
+    if jobs is not None:
+        return _run_batch_sharded(
+            list(programs), config=config, budget=budget, degrade=degrade,
+            max_retries=max_retries, backoff_seconds=backoff_seconds,
+            seed=seed, governor_factory=governor_factory,
+            governor_spec=governor_spec, verbose=verbose, sleeper=sleeper,
+            tracer=tracer, trace_dir=trace_dir, jobs=jobs, pool=pool,
+            fault_spec=fault_spec, fault_seed=fault_seed,
+        )
+    if fault_spec is not None:
+        raise ValueError(
+            "fault_spec requires sharded mode (pass jobs=1 for serial "
+            "sharded semantics); the legacy path takes an ambient plan "
+            "via repro.faults.active()")
+    if governor_factory is None and governor_spec is not None \
+            and governor_spec.bounded:
+        governor_factory = governor_spec.build
+    rng = random.Random(seed)
+    result = BatchResult(config=config)
+    used_slugs: set = set()
     for name, source in programs:
-        retries = 0
-        delays: List[float] = []
         mem_sink: Optional[obs.InMemorySink] = None
         if trace_dir is not None:
             mem_sink = obs.InMemorySink()
             program_tracer: Optional[obs.Tracer] = obs.Tracer(sinks=(mem_sink,))
         else:
             program_tracer = tracer
-        span = None
-        if program_tracer is not None:
-            span = program_tracer.begin("batch:program", program=name,
-                                        config=config)
-        start = time.monotonic()
-        while True:
-            try:
-                program = source() if callable(source) else source
-                governor = governor_factory() if governor_factory else None
-                run = run_analysis(program, config, timeout_seconds=budget,
-                                   governor=governor, degrade=degrade,
-                                   tracer=program_tracer)
-            except TransientFault as exc:
-                # the backoff is planned (and recorded) for every
-                # transient, but never slept once the retries are spent
-                # — giving up must not delay the rest of the batch
-                delay = backoff_seconds * (2 ** retries) * (0.5 + rng.random())
-                delays.append(delay)
-                if retries >= max_retries:
-                    record = BatchRecord(
-                        program=name, config=config, status="failed",
-                        seconds=time.monotonic() - start, retries=retries,
-                        error=f"transient fault persisted after "
-                              f"{retries} retries: {exc}",
-                        backoff_delays=delays,
-                    )
-                    break
-                retries += 1
-                if program_tracer is not None:
-                    program_tracer.instant("batch.backoff", program=name,
-                                           retry=retries,
-                                           delay=round(delay, 6))
-                sleeper(delay)
-                continue
-            except Exception as exc:  # noqa: BLE001 - isolation is the point
-                record = BatchRecord(
-                    program=name, config=config, status="failed",
-                    seconds=time.monotonic() - start, retries=retries,
-                    error=f"{type(exc).__name__}: {exc}",
-                    backoff_delays=delays,
-                )
-                break
-            else:
-                status, degraded_from, failed_phase, cause = _classify(run)
-                record = BatchRecord(
-                    program=name, config=config, status=status,
-                    seconds=time.monotonic() - start, retries=retries,
-                    metrics=dict(run.metrics()),
-                    degraded_from=degraded_from,
-                    failed_phase=failed_phase,
-                    exhaustion_cause=cause,
-                    backoff_delays=delays,
-                )
-                break
-        if program_tracer is not None:
-            program_tracer.end(span, status=record.status,
-                               retries=record.retries)
+        record = _run_program(
+            name, source,
+            config=config, budget=budget, degrade=degrade,
+            max_retries=max_retries, backoff_seconds=backoff_seconds,
+            rng=rng, governor_factory=governor_factory,
+            sleeper=sleeper, tracer=program_tracer,
+        )
         if mem_sink is not None:
-            path = os.path.join(trace_dir, f"{_trace_slug(name)}.trace.json")
+            base = _trace_slug(name)
+            slug, n = base, 1
+            while slug in used_slugs:
+                n += 1
+                slug = f"{base}-{n}"
+            used_slugs.add(slug)
+            path = os.path.join(trace_dir, f"{slug}.trace.json")
             obs.write_chrome_trace(mem_sink.events, path)
         result.records.append(record)
         if verbose:
@@ -273,41 +455,158 @@ def run_batch(
     return result
 
 
+def _run_batch_sharded(
+    programs: List[Tuple[str, ProgramSource]],
+    *,
+    config: str,
+    budget: Optional[float],
+    degrade: Union[bool, str, Sequence[str]],
+    max_retries: int,
+    backoff_seconds: float,
+    seed: int,
+    governor_factory: Optional[Callable[[], ResourceGovernor]],
+    governor_spec: Optional[GovernorSpec],
+    verbose: bool,
+    sleeper: Callable[[float], None],
+    tracer: Optional[obs.Tracer],
+    trace_dir: Optional[str],
+    jobs: int,
+    pool: str,
+    fault_spec: Optional[str],
+    fault_seed: int,
+) -> BatchResult:
+    """The sharded half of :func:`run_batch` (``jobs`` given)."""
+    if pool not in ("thread", "process"):
+        raise ValueError(f"unknown pool {pool!r}; known: thread, process")
+    if governor_factory is not None:
+        raise ValueError(
+            "sharded mode needs a picklable governor recipe: pass "
+            "governor_spec=GovernorSpec(...) instead of governor_factory")
+    if tracer is not None:
+        raise ValueError(
+            "sharded mode cannot share one live tracer across workers: "
+            "pass trace_dir to collect per-program traces instead")
+    workers = resolve_jobs(jobs)
+    if fault_spec is None:
+        # $REPRO_FAULTS would otherwise reach the workers through the
+        # injection points' env fallback as one *shared* plan whose
+        # firings depend on worker count; lift it into the per-program
+        # derived form instead
+        text = os.environ.get(faults_mod.FAULTS_ENV_VAR, "").strip()
+        if text:
+            fault_spec = text
+            fault_seed = int(
+                os.environ.get(faults_mod.FAULTS_SEED_ENV_VAR, "0"))
+    if fault_spec is not None and pool == "thread" and workers > 1:
+        raise ValueError(
+            "fault plans install process-globally; a thread pool with "
+            "jobs > 1 would race per-program plans — use pool='process'")
+    tasks = [
+        ShardTask(
+            index=i, name=name, source=source, config=config, budget=budget,
+            degrade=(tuple(degrade) if isinstance(degrade, (list, tuple))
+                     else degrade),
+            max_retries=max_retries, backoff_seconds=backoff_seconds,
+            seed=seed, workers=workers, governor=governor_spec,
+            fault_spec=fault_spec, fault_seed=fault_seed,
+            collect_trace=trace_dir is not None,
+        )
+        for i, (name, source) in enumerate(programs)
+    ]
+    outputs: List[Tuple[int, BatchRecord, Optional[List[Dict[str, object]]]]]
+    if workers > 1 and pool == "process" and len(tasks) > 1:
+        remote = [t for t in tasks if picklable(t)]
+        local = [t for t in tasks if not picklable(t)]
+        outputs = parallel_map(_run_shard_task, remote,
+                               jobs=workers, pool="process")
+        # unpicklable sources (closures over live objects) still run —
+        # just in the parent, after the pool is drained
+        outputs += [_run_shard_task(t, sleeper=sleeper) for t in local]
+    elif workers > 1 and pool == "thread" and len(tasks) > 1:
+        outputs = parallel_map(lambda t: _run_shard_task(t, sleeper=sleeper),
+                               tasks, jobs=workers, pool="thread")
+    else:
+        outputs = [_run_shard_task(t, sleeper=sleeper) for t in tasks]
+
+    records: List[Optional[BatchRecord]] = [None] * len(tasks)
+    events_by_index: Dict[int, List[Dict[str, object]]] = {}
+    for index, record, events in outputs:
+        records[index] = record
+        if events is not None:
+            events_by_index[index] = events
+    result = BatchResult(config=config,
+                         records=[r for r in records if r is not None])
+    if trace_dir is not None:
+        slugs = _trace_slugs([name for name, _ in programs])
+        for index, events in sorted(events_by_index.items()):
+            path = os.path.join(trace_dir, f"{slugs[index]}.trace.json")
+            obs.write_chrome_trace(obs.events_from_dicts(events), path)
+    if verbose:
+        for record in result.records:
+            print(f"  {record.program:<16} {record.status:<10} "
+                  f"{format_seconds(record.seconds)}")
+    return result
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ProfileSource:
+    """Picklable loader for a synthetic profile (lambdas cannot cross
+    the process-pool boundary)."""
+
+    name: str
+    scale: float
+
+    def __call__(self) -> Program:
+        from repro.workloads import load_profile
+
+        return load_profile(self.name, self.scale)
+
+
+@dataclass(frozen=True)
+class _CorpusSource:
+    """Picklable loader for a hand-written corpus program."""
+
+    name: str
+
+    def __call__(self) -> Program:
+        from repro.workloads import corpus_program
+
+        return corpus_program(self.name)
+
+
+@dataclass(frozen=True)
+class _FileSource:
+    """Picklable loader for a mini-Java source file."""
+
+    path: str
+
+    def __call__(self) -> Program:
+        from repro.frontend import parse_program
+
+        with open(self.path, "r", encoding="utf-8") as handle:
+            return parse_program(handle.read())
+
+
 def _collect_programs(args) -> List[Tuple[str, ProgramSource]]:
-    from repro.workloads import PROFILE_NAMES, corpus_names, corpus_program, load_profile
+    from repro.workloads import PROFILE_NAMES, corpus_names
 
     programs: List[Tuple[str, ProgramSource]] = []
-
-    def profile_thunk(name: str) -> Callable[[], Program]:
-        return lambda: load_profile(name, args.scale)
-
-    def corpus_thunk(name: str) -> Callable[[], Program]:
-        return lambda: corpus_program(name)
-
-    def file_thunk(path: str) -> Callable[[], Program]:
-        def load() -> Program:
-            from repro.frontend import parse_program
-
-            with open(path, "r", encoding="utf-8") as handle:
-                return parse_program(handle.read())
-
-        return load
-
     if args.profiles:
         names = (list(PROFILE_NAMES) if args.profiles == "all"
                  else [p for p in args.profiles.split(",") if p])
-        programs += [(name, profile_thunk(name)) for name in names]
+        programs += [(name, _ProfileSource(name, args.scale))
+                     for name in names]
     if args.corpus:
         names = (corpus_names() if args.corpus == "all"
                  else [c for c in args.corpus.split(",") if c])
-        programs += [(name, corpus_thunk(name)) for name in names]
+        programs += [(name, _CorpusSource(name)) for name in names]
     for path in args.files:
-        programs.append((path, file_thunk(path)))
+        programs.append((path, _FileSource(path)))
     if not programs:  # default: the hand-written corpus
-        programs = [(name, corpus_thunk(name)) for name in corpus_names()]
+        programs = [(name, _CorpusSource(name)) for name in corpus_names()]
     return programs
 
 
@@ -315,7 +614,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     import argparse
     from contextlib import nullcontext
 
-    from repro import faults as faults_mod
     from repro.export import dump_json
 
     parser = argparse.ArgumentParser(
@@ -346,6 +644,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--faults", default=None,
                         help="fault-injection spec (see repro.faults)")
     parser.add_argument("--faults-seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="shard the batch over N workers (0 = one per "
+                             f"core; default ${JOBS_ENV_VAR} or serial)")
+    parser.add_argument("--pool", choices=("process", "thread"),
+                        default="process",
+                        help="worker pool kind for --jobs (default process)")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero unless every record is usable")
     parser.add_argument("-o", "--output", default=None,
@@ -361,32 +665,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.ladder:
         degrade = args.ladder
 
-    governor_factory = None
+    jobs = args.jobs
+    if jobs is None and os.environ.get(JOBS_ENV_VAR, "").strip():
+        jobs = resolve_jobs(None)
+
+    governor_spec = None
     if args.max_iterations is not None or args.memory_mb is not None:
-        governor_factory = lambda: ResourceGovernor.from_limits(  # noqa: E731
+        governor_spec = GovernorSpec(
             memory_mb=args.memory_mb,
             max_iterations=args.max_iterations,
             check_stride=args.check_stride,
         )
 
-    plan_scope = (
-        faults_mod.active(faults_mod.FaultPlan.parse(
-            args.faults, seed=args.faults_seed, stride=1))
-        if args.faults else nullcontext()
-    )
-    with plan_scope:
+    if jobs is not None:
+        # sharded: per-program derived fault plans travel with the tasks
         result = run_batch(
             _collect_programs(args),
-            config=args.config,
-            budget=args.budget,
-            degrade=degrade,
-            max_retries=args.max_retries,
-            backoff_seconds=args.backoff,
-            seed=args.seed,
-            governor_factory=governor_factory,
-            verbose=True,
-            trace_dir=args.trace_dir,
+            config=args.config, budget=args.budget, degrade=degrade,
+            max_retries=args.max_retries, backoff_seconds=args.backoff,
+            seed=args.seed, governor_spec=governor_spec, verbose=True,
+            trace_dir=args.trace_dir, jobs=jobs, pool=args.pool,
+            fault_spec=args.faults, fault_seed=args.faults_seed,
         )
+    else:
+        plan_scope = (
+            faults_mod.active(faults_mod.FaultPlan.parse(
+                args.faults, seed=args.faults_seed, stride=1))
+            if args.faults else nullcontext()
+        )
+        with plan_scope:
+            result = run_batch(
+                _collect_programs(args),
+                config=args.config, budget=args.budget, degrade=degrade,
+                max_retries=args.max_retries, backoff_seconds=args.backoff,
+                seed=args.seed, governor_spec=governor_spec, verbose=True,
+                trace_dir=args.trace_dir,
+            )
     print()
     print(result.render())
     if args.output:

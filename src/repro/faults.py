@@ -75,6 +75,7 @@ __all__ = [
     "InjectedExhaustion",
     "FaultSpec",
     "FaultPlan",
+    "derive_seed",
     "install",
     "uninstall",
     "active",
@@ -98,6 +99,19 @@ INJECTION_POINTS = (
 )
 
 _BOUNDARY_KINDS = ("exhaust", "transient", "crash")
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """A per-shard seed derived from a batch-level seed and a shard
+    name (usually the program name).
+
+    CRC32-based like the per-point RNGs, so it is stable across
+    processes and independent of how shards are ordered or interleaved
+    — the property the sharded batch runner needs for ``--jobs 1`` and
+    ``--jobs N`` to observe identical fault firings and backoff jitter
+    per program.
+    """
+    return zlib.crc32(name.encode("utf-8")) ^ (seed & 0xFFFFFFFF)
 
 
 class InjectedFault(Exception):
@@ -223,6 +237,14 @@ class FaultPlan:
         ``"main-boundary:kind=crash,solve-iteration:at=64:times=2"``."""
         specs = [_parse_spec(part) for part in text.split(",") if part.strip()]
         return cls(specs, seed=seed, stride=stride)
+
+    @classmethod
+    def derive(cls, text: str, seed: int, name: str,
+               stride: Optional[int] = None) -> "FaultPlan":
+        """Parse a spec string with its seed derived per shard name
+        (:func:`derive_seed`) — one independent plan per program, with
+        identical firing decisions no matter which worker runs it."""
+        return cls.parse(text, seed=derive_seed(seed, name), stride=stride)
 
     @classmethod
     def from_env(cls, environ=os.environ) -> Optional["FaultPlan"]:

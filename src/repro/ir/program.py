@@ -150,6 +150,17 @@ class Program:
         self._call_sites: Dict[int, Statement] = {}
         self._dispatch_cache: Dict[Tuple[str, str], Optional[Method]] = {}
 
+    def __getstate__(self) -> Dict[str, object]:
+        # Ship programs to worker processes without the dispatch memo:
+        # it is derived state, can be large after a solve, and each
+        # worker rebuilds exactly the entries it needs.
+        state = self.__dict__.copy()
+        state["_dispatch_cache"] = {}
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     # Construction helpers (used by the builder)
     # ------------------------------------------------------------------

@@ -101,6 +101,17 @@ class TypeHierarchy:
         self._children[root.name] = []
         self._depth[root.name] = 0
 
+    def __getstate__(self) -> Dict[str, object]:
+        # The subtype memo is derived state shared by reference across
+        # solvers; drop it when pickling so worker processes start from
+        # a lean payload and warm their own memo.
+        state = self.__dict__.copy()
+        state["_subtype_name_cache"] = {}
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

@@ -49,13 +49,22 @@ from repro.obs.chrome import (
     validate_chrome_trace,
     write_chrome_trace,
 )
-from repro.obs.events import Event, Instant, SpanBegin, SpanEnd, event_from_dict
+from repro.obs.events import (
+    Event,
+    Instant,
+    SpanBegin,
+    SpanEnd,
+    event_from_dict,
+    events_from_dicts,
+    events_to_dicts,
+)
 from repro.obs.metrics import PerfRecorder, null_recorder
 from repro.obs.summary import summarize_events, summarize_trace_payload
 from repro.obs.tracer import InMemorySink, JsonlSink, Sink, Span, Tracer
 
 __all__ = [
     "Event", "SpanBegin", "SpanEnd", "Instant", "event_from_dict",
+    "events_to_dicts", "events_from_dicts",
     "PerfRecorder", "null_recorder",
     "Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
     "to_chrome_trace", "write_chrome_trace", "load_trace_file",

@@ -24,9 +24,10 @@ so a JSONL log round-trips losslessly back into typed events for the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
-__all__ = ["Event", "SpanBegin", "SpanEnd", "Instant", "event_from_dict"]
+__all__ = ["Event", "SpanBegin", "SpanEnd", "Instant", "event_from_dict",
+           "events_to_dicts", "events_from_dicts"]
 
 
 @dataclass
@@ -126,3 +127,18 @@ def event_from_dict(payload: Dict[str, object]) -> Event:
                        duration=float(payload["duration"]), attrs=attrs)
     return Instant(ts=ts, name=str(payload["name"]),
                    span_id=payload.get("span_id"), attrs=attrs)
+
+
+def events_to_dicts(events: Iterable[Event]) -> List[Dict[str, object]]:
+    """Serialize a captured event stream to plain dicts — the wire
+    format a batch worker process returns its program's trace in (the
+    same shape the JSONL sink writes, so it stays losslessly
+    round-trippable)."""
+    return [event.as_dict() for event in events]
+
+
+def events_from_dicts(payloads: Iterable[Dict[str, object]]) -> List[Event]:
+    """Rebuild a typed event stream from :func:`events_to_dicts`
+    output — how the batch parent reconstitutes worker traces before
+    exporting them."""
+    return [event_from_dict(payload) for payload in payloads]

@@ -1,0 +1,154 @@
+"""``repro.parallel`` — the shared parallel execution layer.
+
+The paper's evaluation runs the type-consistency check with an 8-thread
+synchronization-free partition-by-type scheme (Section 5 / DESIGN.md
+§2); the production-shaped pipeline additionally wants whole *corpora*
+fanned out over processes.  Both hot paths
+(:func:`repro.core.merging.merge_type_consistent_objects` and
+:func:`repro.bench.batch.run_batch`) dispatch through this module so
+the policy knobs live in one place:
+
+* **job resolution** (:func:`resolve_jobs`) — an explicit ``--jobs``
+  value, else the ``REPRO_JOBS`` environment variable, else a serial
+  default; ``0`` means "one per core";
+* **work partitioning** (:func:`balanced_shards`) — deterministic
+  greedy largest-first binning of weighted items into at most ``jobs``
+  shards, so a few big partitions do not serialize behind one worker;
+* **pool dispatch** (:func:`parallel_map`) — an order-preserving map
+  over a thread pool (for GIL-light work: the merge phase's big-int
+  bitset ops), a process pool (for whole-program analyses), or inline
+  (the serial fallback, also taken automatically when there is nothing
+  to parallelize).
+
+Everything here is deterministic by construction: results come back in
+input order whatever the completion order, sharding depends only on
+the weights, and per-shard randomness derives from
+:func:`repro.faults.derive_seed` (re-exported) so a shard's fault
+stream and backoff jitter are a pure function of the batch seed and
+the program name — never of which worker ran it or when.
+
+Serial execution stays the default everywhere: nothing in this module
+runs unless a caller passes ``jobs`` explicitly or sets ``REPRO_JOBS``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.faults import derive_seed
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "POOLS",
+    "resolve_jobs",
+    "derive_seed",
+    "balanced_shards",
+    "parallel_map",
+    "picklable",
+]
+
+#: Environment variable consulted by :func:`resolve_jobs`.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Known pool kinds for :func:`parallel_map`.
+POOLS = ("serial", "thread", "process")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None, default: int = 1,
+                 environ=os.environ) -> int:
+    """The effective worker count: ``jobs`` if given, else
+    ``$REPRO_JOBS``, else ``default``; ``0`` (from either source) means
+    one worker per available core; the result is always ≥ 1."""
+    if jobs is None:
+        text = environ.get(JOBS_ENV_VAR, "").strip()
+        if not text:
+            return max(1, default)
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"${JOBS_ENV_VAR} must be an integer, got {text!r}"
+            ) from None
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def balanced_shards(
+    items: Sequence[T],
+    shards: int,
+    weight: Optional[Callable[[T], float]] = None,
+) -> List[List[T]]:
+    """Bin ``items`` into at most ``shards`` lists with roughly equal
+    total ``weight`` (default: every item weighs 1).
+
+    Greedy largest-first: items are taken heaviest first and each goes
+    to the currently lightest shard, ties broken by shard index then by
+    input position — fully deterministic.  Empty shards are dropped,
+    and within a shard items keep their input order, so a serial
+    replay of the shard list visits items in a reproducible order.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    items = list(items)
+    count = min(shards, len(items))
+    if count <= 1:
+        return [items] if items else []
+    order = sorted(
+        range(len(items)),
+        key=lambda i: (-(weight(items[i]) if weight else 1.0), i),
+    )
+    loads = [0.0] * count
+    bins: List[List[int]] = [[] for _ in range(count)]
+    for index in order:
+        target = min(range(count), key=lambda s: (loads[s], s))
+        bins[target].append(index)
+        loads[target] += weight(items[index]) if weight else 1.0
+    return [[items[i] for i in sorted(bin_)] for bin_ in bins if bin_]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    pool: str = "thread",
+) -> List[R]:
+    """Map ``fn`` over ``items``, returning results in input order.
+
+    ``pool`` picks the executor: ``"thread"`` for GIL-light work,
+    ``"process"`` for CPU-bound work (``fn`` and every item must then
+    be picklable and ``fn`` defined at module level), ``"serial"`` to
+    force inline execution.  With ``jobs <= 1`` or fewer than two
+    items the map runs inline regardless — the hot serial path never
+    pays executor setup.
+
+    A worker exception propagates to the caller (isolation policy
+    belongs to callers like the batch runner, not here).
+    """
+    if pool not in POOLS:
+        raise ValueError(f"unknown pool {pool!r}; known: {', '.join(POOLS)}")
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1 or pool == "serial":
+        return [fn(item) for item in items]
+    executor_cls = (ThreadPoolExecutor if pool == "thread"
+                    else ProcessPoolExecutor)
+    with executor_cls(max_workers=min(jobs, len(items))) as executor:
+        return list(executor.map(fn, items))
+
+
+def picklable(value: object) -> bool:
+    """Whether ``value`` survives pickling — the dispatch test the
+    sharded batch runner uses to route a task to the process pool or
+    keep it in-parent (a lambda-loaded program still runs, just not
+    remotely)."""
+    try:
+        pickle.dumps(value)
+    except Exception:  # noqa: BLE001 - any pickling failure means "no"
+        return False
+    return True

@@ -214,6 +214,184 @@ class TestBatchTracing:
         assert "batch.backoff" in sink.instant_names()
 
 
+class TestTraceSlugCollisions:
+    """Distinct program names that slug identically must not overwrite
+    each other's trace files (regression: ``a/b`` vs ``a:b``)."""
+
+    def test_serial_path_dedups(self, tmp_path):
+        program = corpus_program("cache")
+        run_batch([("a/b", program), ("a:b", program), ("a_b", program)],
+                  trace_dir=str(tmp_path))
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["a_b-2.trace.json", "a_b-3.trace.json",
+                         "a_b.trace.json"]
+
+    def test_sharded_path_dedups(self, tmp_path):
+        program = corpus_program("cache")
+        run_batch([("a/b", program), ("a:b", program)],
+                  trace_dir=str(tmp_path), jobs=2)
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["a_b-2.trace.json", "a_b.trace.json"]
+
+    def test_first_occurrence_keeps_bare_slug(self, tmp_path):
+        from repro import obs
+
+        program = corpus_program("cache")
+        run_batch([("x/y", program), ("x_y", program)],
+                  trace_dir=str(tmp_path))
+        # input order decides who keeps the bare slug, and each file is
+        # a valid trace of its own program
+        payload = obs.load_trace_file(str(tmp_path / "x_y.trace.json"))
+        assert obs.validate_chrome_trace(payload) == []
+
+
+class TestShardedBatch:
+    """``jobs=N`` fans the batch over a worker pool with derived
+    per-program state; results are indistinguishable from serial."""
+
+    def test_records_in_input_order(self):
+        names = list(corpus_names())
+        result = run_batch(_corpus(*names), jobs=4)
+        assert [r.program for r in result.records] == names
+
+    def test_render_byte_identical_to_serial(self):
+        def rendered(jobs):
+            result = run_batch(_corpus(*corpus_names()), config="M-2obj",
+                               jobs=jobs)
+            for record in result.records:
+                record.seconds = 0.0  # the only wall-clock field
+            return result.render()
+
+        assert rendered(None) == rendered(2)
+
+    def test_jobs_one_matches_jobs_four(self):
+        def outcome(jobs):
+            result = run_batch(_corpus(*corpus_names()), jobs=jobs)
+            return [(r.program, r.status, r.retries) for r in result.records]
+
+        assert outcome(1) == outcome(4)
+
+    def test_thread_pool_works(self):
+        result = run_batch(_corpus("cache", "iterator"), jobs=2,
+                           pool="thread")
+        assert [r.status for r in result.records] == ["ok", "ok"]
+
+    def test_unpicklable_source_falls_back_to_parent(self):
+        result = run_batch(
+            [("lam", lambda: corpus_program("cache")),
+             *_corpus("iterator")],
+            jobs=2, pool="process")
+        assert [r.program for r in result.records] == ["lam", "iterator"]
+        assert result.all_usable
+
+    def test_loader_crash_still_isolated(self):
+        def explode():
+            raise RuntimeError("generator bug")
+
+        result = run_batch([("bad", explode), *_corpus("cache")], jobs=2)
+        assert [r.status for r in result.records] == ["failed", "ok"]
+
+    def test_trace_dir_collects_worker_traces(self, tmp_path):
+        from repro import obs
+
+        run_batch(_corpus("cache", "iterator"), trace_dir=str(tmp_path),
+                  jobs=2)
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["cache.trace.json", "iterator.trace.json"]
+        payload = obs.load_trace_file(str(tmp_path / "cache.trace.json"))
+        assert obs.validate_chrome_trace(payload) == []
+        names = {e.get("name") for e in payload["traceEvents"]}
+        assert "batch:program" in names
+        assert "phase:main" in names
+
+    def test_governor_spec_enforced_in_workers(self):
+        from repro.analysis.governor import GovernorSpec
+
+        result = run_batch(
+            _corpus("cache"), config="2obj", degrade=False, jobs=2,
+            governor_spec=GovernorSpec(max_iterations=1, check_stride=1))
+        record = result.records[0]
+        assert record.status == "exhausted"
+        assert record.exhaustion_cause == "work"
+
+    def test_governor_factory_rejected(self):
+        with pytest.raises(ValueError, match="governor_spec"):
+            run_batch(_corpus("cache"), jobs=2,
+                      governor_factory=lambda: ResourceGovernor())
+
+    def test_live_tracer_rejected(self):
+        from repro import obs
+
+        with pytest.raises(ValueError, match="trace_dir"):
+            run_batch(_corpus("cache"), jobs=2,
+                      tracer=obs.Tracer(sinks=()))
+
+    def test_fault_spec_with_thread_pool_rejected(self):
+        with pytest.raises(ValueError, match="process-globally"):
+            run_batch(_corpus("cache"), jobs=2, pool="thread",
+                      fault_spec="main-boundary:kind=transient")
+
+    def test_fault_spec_requires_sharded_mode(self):
+        with pytest.raises(ValueError, match="sharded"):
+            run_batch(_corpus("cache"),
+                      fault_spec="main-boundary:kind=transient")
+
+
+class TestShardedFaultDeterminism:
+    """ISSUE satellite: a fault spec's firings are a pure function of
+    (spec, seed, program name) — the same programs fault identically at
+    any worker count."""
+
+    SPEC = ("main-boundary:kind=transient:probability=0.5:times=2,"
+            "merge-boundary:probability=0.3:times=1")
+
+    def _outcome(self, jobs):
+        result = run_batch(
+            _corpus(*corpus_names()), config="M-2obj", jobs=jobs,
+            backoff_seconds=0.0001, fault_spec=self.SPEC, fault_seed=7)
+        return [(r.program, r.status, r.retries, r.degraded_from,
+                 [round(d, 9) for d in r.backoff_delays])
+                for r in result.records]
+
+    def test_jobs_one_vs_jobs_four(self):
+        first = self._outcome(1)
+        assert first == self._outcome(4)
+        # the spec actually bit somewhere, or the test proves nothing
+        assert any(retries or degraded_from
+                   for _, _, retries, degraded_from, _ in first)
+
+    def test_repeatable_at_fixed_worker_count(self):
+        assert self._outcome(2) == self._outcome(2)
+
+    def test_env_faults_lifted_to_derived_plans(self, monkeypatch):
+        """$REPRO_FAULTS in sharded mode becomes per-program derived
+        plans — same firings at any worker count."""
+        monkeypatch.setenv("REPRO_FAULTS", self.SPEC)
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "7")
+
+        def outcome(jobs):
+            result = run_batch(_corpus(*corpus_names()), config="M-2obj",
+                               jobs=jobs, backoff_seconds=0.0001)
+            return [(r.program, r.status, r.retries, r.degraded_from)
+                    for r in result.records]
+
+        first = outcome(1)
+        assert first == outcome(4)
+        # and it matches the explicit fault_spec path exactly
+        assert first == [(p, s, r, d)
+                         for p, s, r, d, _ in self._outcome(4)]
+
+    def test_different_fault_seed_changes_firings(self):
+        base = self._outcome(2)
+        other = run_batch(
+            _corpus(*corpus_names()), config="M-2obj", jobs=2,
+            backoff_seconds=0.0001, fault_spec=self.SPEC, fault_seed=8)
+        reshaped = [(r.program, r.status, r.retries, r.degraded_from,
+                     [round(d, 9) for d in r.backoff_delays])
+                    for r in other.records]
+        assert reshaped != base
+
+
 class TestAcceptance:
     """ISSUE acceptance: fault injection triggers every degradation path
     deterministically under a fixed seed while the batch completes."""
