@@ -26,10 +26,17 @@ budgets land deterministically even on tiny programs).  Exhaustion
 raises the :mod:`repro.resources` taxonomy with the phase attributed,
 which is what the degradation ladder keys its retry decisions on.
 
-The governor is stateful and single-run: build one per
-:func:`~repro.analysis.pipeline.run_analysis` call (the batch runner
-builds one per program); the pipeline calls :meth:`begin_attempt` at
-every degradation-ladder rung.  After a run, :meth:`report` returns the
+The governor is stateful, single-run, and **single-thread**: build one
+per :func:`~repro.analysis.pipeline.run_analysis` call (the batch
+runner builds one per program, the analysis service one per request —
+both from a picklable :class:`GovernorSpec`); the pipeline calls
+:meth:`begin_attempt` at every degradation-ladder rung.  The first
+stateful call claims the governor for its thread and any later call
+from another thread raises :class:`GovernorConcurrencyError` instead of
+silently corrupting budgets.  An optional **whole-run deadline**
+(``deadline_seconds``) is enforced on every check across all ladder
+rungs — the mechanism the service uses to turn a client's request
+deadline into degradation instead of a hang.  After a run, :meth:`report` returns the
 per-phase elapsed times and high-water marks for provenance.  With a
 :class:`~repro.obs.Tracer` attached, every budget trip emits a
 ``governor.exhausted`` instant into the active trace.
@@ -37,6 +44,7 @@ per-phase elapsed times and high-water marks for provenance.  With a
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
@@ -59,12 +67,30 @@ __all__ = [
     "PHASES",
     "PhaseBudget",
     "GovernorSpec",
+    "GovernorConcurrencyError",
     "ResourceGovernor",
     "ResourceExhausted",
     "TimeBudgetExceeded",
     "MemoryBudgetExceeded",
     "WorkBudgetExceeded",
 ]
+
+
+class GovernorConcurrencyError(RuntimeError):
+    """A governor's stateful surface was touched from two threads.
+
+    Governors are **single-run, single-thread** objects: one per
+    :func:`~repro.analysis.pipeline.run_analysis` attempt, owned by the
+    thread that drives the attempt.  Phase state, the memory baseline,
+    and the report dict are all unsynchronized, so cross-thread reuse
+    would silently corrupt budgets instead of enforcing them.  The
+    governor claims its owner on the first stateful call
+    (:meth:`~ResourceGovernor.phase`, :meth:`~ResourceGovernor.check`,
+    :meth:`~ResourceGovernor.begin_attempt`) and raises this on any
+    later call from a different thread — concurrent users (the analysis
+    service, sharded batch workers) must build one governor per request
+    from a :class:`GovernorSpec` instead of sharing one.
+    """
 
 #: The pipeline's budgetable phases, in execution order.
 PHASES = ("pre", "fpg", "merge", "main")
@@ -109,12 +135,18 @@ class GovernorSpec:
     max_iterations: Optional[int] = None
     max_objects: Optional[int] = None
     check_stride: int = 1024
+    #: whole-run deadline, relative to when the governor is *built* —
+    #: the analysis service folds each request's remaining deadline in
+    #: here so a slow solve exhausts (and rides the degradation ladder)
+    #: instead of hanging past its client's patience.
+    deadline_seconds: Optional[float] = None
 
     @property
     def bounded(self) -> bool:
         return (self.wall_seconds is not None or self.memory_mb is not None
                 or self.max_iterations is not None
-                or self.max_objects is not None)
+                or self.max_objects is not None
+                or self.deadline_seconds is not None)
 
     def slice(self, workers: int) -> "GovernorSpec":
         """The fair-share spec for one of ``workers`` concurrent
@@ -136,6 +168,7 @@ class GovernorSpec:
             max_iterations=self.max_iterations,
             max_objects=self.max_objects,
             check_stride=self.check_stride,
+            deadline_seconds=self.deadline_seconds,
         )
 
 
@@ -155,6 +188,7 @@ class ResourceGovernor:
         check_stride: int = 1024,
         perf: Optional[PerfRecorder] = None,
         tracer: Optional["Tracer"] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> None:
         self.budgets: Dict[str, PhaseBudget] = dict(budgets or {})
         for name in self.budgets:
@@ -173,6 +207,19 @@ class ResourceGovernor:
         self._phase: Optional[str] = None
         self._phase_start: float = 0.0
         self._report: Dict[str, Dict[str, float]] = {}
+        # Whole-run deadline: absolute from construction time, checked
+        # on every stride and phase boundary across *all* ladder rungs
+        # (begin_attempt re-baselines memory, never the deadline — a
+        # request's patience does not renew per rung).
+        self.deadline_seconds = deadline_seconds
+        self._start = time.monotonic()
+        self._deadline: Optional[float] = (
+            None if deadline_seconds is None
+            else self._start + deadline_seconds)
+        # One-governor-per-attempt invariant: the first stateful call
+        # claims the governor for its thread (see
+        # GovernorConcurrencyError).
+        self._owner_ident: Optional[int] = None
         # Memory budgets are deltas against this baseline (re-sampled by
         # begin_attempt); sample eagerly so a standalone governor with no
         # ladder around it still budgets growth, not absolute RSS.
@@ -188,17 +235,19 @@ class ResourceGovernor:
         max_iterations: Optional[int] = None,
         max_objects: Optional[int] = None,
         check_stride: int = 1024,
+        deadline_seconds: Optional[float] = None,
     ) -> "ResourceGovernor":
         """Convenience constructor: one budget applied to every phase
         (how the CLI's ``--max-iterations`` / ``--memory-mb`` flags are
-        spelled)."""
+        spelled), plus an optional whole-run deadline."""
         budget = PhaseBudget(
             wall_seconds=wall_seconds,
             memory_bytes=None if memory_mb is None else int(memory_mb * 1024 * 1024),
             max_iterations=max_iterations,
             max_objects=max_objects,
         )
-        return cls(default=budget, check_stride=check_stride)
+        return cls(default=budget, check_stride=check_stride,
+                   deadline_seconds=deadline_seconds)
 
     # -- memory baseline ------------------------------------------------
     def _memory_budgeted(self) -> bool:
@@ -224,8 +273,22 @@ class ResourceGovernor:
         rung.  The watermark never decreases, so without this a rung
         that exhausted memory would leave every later, coarser rung
         reading the same high-water and spuriously exhausting too."""
+        self._claim()
         if self._memory_budgeted():
             self._memory_baseline = self._sample_watermark() or 0
+
+    # -- single-thread ownership ----------------------------------------
+    def _claim(self) -> None:
+        """Claim (or verify) this governor for the calling thread."""
+        ident = threading.get_ident()
+        if self._owner_ident is None:
+            self._owner_ident = ident
+        elif self._owner_ident != ident:
+            raise GovernorConcurrencyError(
+                f"governor already in use by thread {self._owner_ident}; "
+                f"thread {ident} must build its own (one governor per "
+                f"attempt — use GovernorSpec.build() per request)"
+            )
 
     # -- phase structure ------------------------------------------------
     @property
@@ -245,6 +308,7 @@ class ResourceGovernor:
         detected at exit)."""
         if name not in PHASES:
             raise ValueError(f"unknown phase {name!r}; known: {', '.join(PHASES)}")
+        self._claim()
         previous, previous_start = self._phase, self._phase_start
         self._phase = name
         self._phase_start = time.monotonic()
@@ -295,9 +359,23 @@ class ResourceGovernor:
         Called by the solver on its check stride and by :meth:`phase` at
         boundaries.  Memory is sampled only when a memory budget is set
         (the watermark read is a syscall); the sample includes any armed
-        ``memory-spike`` fault.
+        ``memory-spike`` fault.  The whole-run deadline (when set) is
+        enforced here too, *before* the per-phase budget lookup, so a
+        request deadline trips even in phases with no budget of their
+        own.
         """
+        self._claim()
         phase = self._phase or "main"
+        if self._deadline is not None:
+            now = time.monotonic()
+            if now > self._deadline:
+                self._exhaust(TimeBudgetExceeded(
+                    f"run deadline of {self.deadline_seconds:.3f}s exceeded "
+                    f"in phase {phase!r} "
+                    f"(elapsed {now - self._start:.3f}s)",
+                    phase=phase, budget=self.deadline_seconds,
+                    observed=now - self._start, iterations=iterations,
+                ))
         budget = self._budget_for(phase)
         if budget is None or budget.unbounded:
             return

@@ -75,7 +75,9 @@ from repro.resources import ResourceExhausted
 __all__ = [
     "AnalysisRun",
     "AttemptRecord",
+    "FailureInfo",
     "PreAnalysisArtifacts",
+    "classify_failure",
     "coarser_sensitivity",
     "degradation_chain",
     "next_rung",
@@ -246,6 +248,68 @@ class AnalysisRun:
             )
         self._metrics = metrics
         return metrics
+
+
+@dataclass(frozen=True)
+class FailureInfo:
+    """A structured, phase-attributed account of why a run failed.
+
+    This is the *one* failure taxonomy every surface renders: the CLI's
+    exit-3 diagnostics, the batch runner's ``failed`` records, and the
+    analysis service's JSON error bodies all spell failures as a
+    ``kind`` (coarse family), a ``cause`` (short machine-readable
+    token, e.g. ``time``/``memory``/``work``/``crash``), the pipeline
+    ``phase`` the failure is attributed to (when known), and the
+    exception's type/detail.  Built by :func:`classify_failure` — the
+    guarantee behind "no bare traceback ever escapes a request".
+    """
+
+    kind: str  # "exhausted" | "corrupt" | "transient" | "crash" | "error"
+    cause: str
+    phase: Optional[str]
+    error_type: str
+    detail: str
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "cause": self.cause,
+            "error_type": self.error_type,
+            "detail": self.detail,
+        }
+        if self.phase is not None:
+            out["phase"] = self.phase
+        return out
+
+
+def classify_failure(exc: BaseException) -> FailureInfo:
+    """Map any exception escaping the pipeline onto :class:`FailureInfo`.
+
+    Knows the whole deliberate taxonomy — resource exhaustion (with its
+    ``time``/``memory``/``work`` causes), corrupted artifacts, injected
+    transients and crashes — and degrades gracefully for anything else:
+    an unexpected ``KeyError`` in a solver becomes kind ``"error"`` with
+    the exception type as its cause, still phase-attributed when the
+    raiser tagged one.
+    """
+    phase = getattr(exc, "phase", None)
+    if isinstance(exc, ResourceExhausted):
+        return FailureInfo(kind="exhausted", cause=exc.resource,
+                           phase=phase or "main",
+                           error_type=type(exc).__name__, detail=str(exc))
+    if isinstance(exc, FPGIntegrityError):
+        return FailureInfo(kind="corrupt", cause="corrupt", phase=phase,
+                           error_type=type(exc).__name__, detail=str(exc))
+    from repro.faults import InjectedCrash, TransientFault
+
+    if isinstance(exc, TransientFault):
+        return FailureInfo(kind="transient", cause="transient", phase=phase,
+                           error_type=type(exc).__name__, detail=str(exc))
+    if isinstance(exc, InjectedCrash):
+        return FailureInfo(kind="crash", cause="crash", phase=phase,
+                           error_type=type(exc).__name__, detail=str(exc))
+    return FailureInfo(kind="error", cause=type(exc).__name__, phase=phase,
+                       error_type=type(exc).__name__, detail=str(exc))
 
 
 def run_pre_analysis(

@@ -7,7 +7,7 @@ from typing import Callable, Dict, List
 
 from repro.bench import (ablation, backends, batch, compare, fig8, fig9,
                          motivating, parallel, prestats, report, scc,
-                         table1, table2)
+                         serve, table1, table2)
 
 _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "motivating": motivating.main,
@@ -22,6 +22,7 @@ _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "scc": scc.main,
     "batch": batch.main,
     "parallel": parallel.main,
+    "serve": serve.main,
     "report": report.main,
 }
 

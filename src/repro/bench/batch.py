@@ -10,7 +10,8 @@ batch *finishes*:
   of the batch continues;
 * :class:`~repro.faults.TransientFault` (flaky-infrastructure
   simulation, and the natural slot for real transient errors) is
-  retried with deterministic jittered exponential backoff before being
+  retried with deterministic jittered exponential backoff
+  (:mod:`repro.retry`, shared with the analysis service) before being
   recorded as a failure;
 * budget exhaustion rides the pipeline's degradation ladder by default,
   so a record is ``degraded`` (coarser but usable metrics, with
@@ -70,6 +71,7 @@ from repro.bench.reporting import format_seconds, render_table
 from repro.faults import TransientFault, derive_seed
 from repro.ir.program import Program
 from repro.parallel import JOBS_ENV_VAR, parallel_map, picklable, resolve_jobs
+from repro.retry import RetriesExhausted, RetryPolicy, RetryState, call_with_retry
 
 __all__ = ["BatchRecord", "BatchResult", "ShardTask", "run_batch", "main"]
 
@@ -223,60 +225,57 @@ def _run_program(
 ) -> BatchRecord:
     """One program through the isolation boundary; the unit both the
     legacy serial loop and the sharded workers execute."""
-    retries = 0
-    delays: List[float] = []
     span = None
     if tracer is not None:
         span = tracer.begin("batch:program", program=name, config=config)
     start = time.monotonic()
-    while True:
-        try:
-            program = source() if callable(source) else source
-            governor = governor_factory() if governor_factory else None
-            run = run_analysis(program, config, timeout_seconds=budget,
-                               governor=governor, degrade=degrade,
-                               tracer=tracer)
-        except TransientFault as exc:
-            # the backoff is planned (and recorded) for every
-            # transient, but never slept once the retries are spent
-            # — giving up must not delay the rest of the batch
-            delay = backoff_seconds * (2 ** retries) * (0.5 + rng.random())
-            delays.append(delay)
-            if retries >= max_retries:
-                record = BatchRecord(
-                    program=name, config=config, status="failed",
-                    seconds=time.monotonic() - start, retries=retries,
-                    error=f"transient fault persisted after "
-                          f"{retries} retries: {exc}",
-                    backoff_delays=delays,
-                )
-                break
-            retries += 1
-            if tracer is not None:
-                tracer.instant("batch.backoff", program=name,
-                               retry=retries, delay=round(delay, 6))
-            sleeper(delay)
-            continue
-        except Exception as exc:  # noqa: BLE001 - isolation is the point
-            record = BatchRecord(
-                program=name, config=config, status="failed",
-                seconds=time.monotonic() - start, retries=retries,
-                error=f"{type(exc).__name__}: {exc}",
-                backoff_delays=delays,
-            )
-            break
-        else:
-            status, degraded_from, failed_phase, cause = _classify(run)
-            record = BatchRecord(
-                program=name, config=config, status=status,
-                seconds=time.monotonic() - start, retries=retries,
-                metrics=dict(run.metrics()),
-                degraded_from=degraded_from,
-                failed_phase=failed_phase,
-                exhaustion_cause=cause,
-                backoff_delays=delays,
-            )
-            break
+
+    def attempt():
+        program = source() if callable(source) else source
+        governor = governor_factory() if governor_factory else None
+        return run_analysis(program, config, timeout_seconds=budget,
+                            governor=governor, degrade=degrade,
+                            tracer=tracer)
+
+    def on_backoff(retry: int, delay: float) -> None:
+        if tracer is not None:
+            tracer.instant("batch.backoff", program=name,
+                           retry=retry, delay=round(delay, 6))
+
+    state = RetryState()
+    try:
+        run = call_with_retry(
+            attempt,
+            policy=RetryPolicy(max_retries=max_retries,
+                               backoff_seconds=backoff_seconds),
+            rng=rng, retryable=TransientFault, sleeper=sleeper,
+            on_backoff=on_backoff, state=state,
+        )
+    except RetriesExhausted as exc:
+        record = BatchRecord(
+            program=name, config=config, status="failed",
+            seconds=time.monotonic() - start, retries=exc.retries,
+            error=str(exc),
+            backoff_delays=exc.delays,
+        )
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        record = BatchRecord(
+            program=name, config=config, status="failed",
+            seconds=time.monotonic() - start, retries=state.retries,
+            error=f"{type(exc).__name__}: {exc}",
+            backoff_delays=state.delays,
+        )
+    else:
+        status, degraded_from, failed_phase, cause = _classify(run)
+        record = BatchRecord(
+            program=name, config=config, status=status,
+            seconds=time.monotonic() - start, retries=state.retries,
+            metrics=dict(run.metrics()),
+            degraded_from=degraded_from,
+            failed_phase=failed_phase,
+            exhaustion_cause=cause,
+            backoff_delays=state.delays,
+        )
     if tracer is not None:
         tracer.end(span, status=record.status, retries=record.retries)
     return record

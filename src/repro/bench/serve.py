@@ -1,0 +1,299 @@
+"""Service smoke/latency harness: boot ``repro serve``, run a scripted
+client session, report per-endpoint latencies and robustness outcomes.
+
+This is the serving twin of the batch harness: it boots the real daemon
+as a subprocess (``python -m repro.cli serve --port 0``, ephemeral
+port), drives it with the real stdlib client
+(:class:`repro.serve.client.ServeClient`), and asserts the service
+contract along the way —
+
+* a served analysis is **byte-identical** to a direct
+  :func:`~repro.analysis.pipeline.run_analysis` of the same program
+  (compared via :func:`repro.serve.protocol.canonical_json` over
+  :func:`~repro.serve.protocol.deterministic_result`);
+* a repeat request is a **cache hit** and returns the same bytes;
+* an **unknown tenant** and a **request-scoped fault** produce
+  structured errors, not a dead server;
+* SIGTERM **drains** cleanly: exit code 0 and the farewell line.
+
+``python -m repro.bench serve --out bench_results/serve.txt`` is the CI
+smoke leg.  Latency numbers include HTTP framing and JSON codec cost on
+a loopback socket — they measure serving overhead over the raw
+pipeline, which is the honest quantity for this harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.reporting import format_seconds, render_table
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import canonical_json, deterministic_result
+
+__all__ = ["ServeBenchResult", "BootedServer", "boot_server",
+           "run_serve_bench", "render_report", "main"]
+
+_ANNOUNCE = re.compile(r"repro-serve listening on http://([^:]+):(\d+)")
+
+#: the scripted session's program: the Figure 1 shape, small enough for
+#: CI but with virtual dispatch, a field load, and a cast to exercise
+#: every query kind.
+SESSION_SOURCE = """
+class A { field f: A; method foo() { return this; } }
+class B extends A { method foo() { return this; } }
+class C extends A { method foo() { return this; } }
+main {
+  x = new A();
+  y = new A();
+  xf = new B();
+  x.f = xf;
+  yf = new C();
+  y.f = yf;
+  a = y.f;
+  a.foo();
+  c = (C) a;
+}
+"""
+
+
+@dataclass
+class ServeBenchResult:
+    """One scripted step: what happened and how long it took."""
+
+    step: str
+    outcome: str
+    seconds: float
+    detail: str = ""
+
+    def row(self) -> List[object]:
+        return [self.step, self.outcome, format_seconds(self.seconds),
+                self.detail]
+
+
+class BootedServer:
+    """A ``repro serve`` subprocess plus the URL it announced."""
+
+    def __init__(self, process: subprocess.Popen, url: str) -> None:
+        self.process = process
+        self.url = url
+
+    def terminate_and_wait(self, timeout: float = 30.0) -> int:
+        """SIGTERM (the drain path), then wait for exit."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+        return self.process.returncode
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+
+
+def boot_server(extra_args: Sequence[str] = (),
+                timeout: float = 30.0) -> BootedServer:
+    """Start ``python -m repro.cli serve --port 0`` and wait for the
+    announce line; raises ``RuntimeError`` with captured output when
+    the daemon dies before announcing."""
+    env = dict(os.environ)
+    src_root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, os.pardir)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(src_root),
+                    env.get("PYTHONPATH", "")) if p)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"serve daemon exited {process.returncode} before "
+                    f"announcing")
+            continue
+        match = _ANNOUNCE.search(line)
+        if match:
+            host, port = match.group(1), match.group(2)
+            return BootedServer(process, f"http://{host}:{port}")
+    process.kill()
+    raise RuntimeError("serve daemon did not announce within timeout")
+
+
+def _direct_result_bytes(config: str) -> bytes:
+    """The differential baseline: run the pipeline in-process."""
+    from repro.analysis.pipeline import run_analysis
+    from repro.frontend import parse_program
+
+    run = run_analysis(parse_program(SESSION_SOURCE), config)
+    return canonical_json(deterministic_result(run))
+
+
+def run_serve_bench(config: str = "M-2obj",
+                    server_args: Sequence[str] = (),
+                    ) -> Dict[str, Any]:
+    """Boot, script, drain; returns results + the drain verdict."""
+    results: List[ServeBenchResult] = []
+    failures: List[str] = []
+
+    def step(name: str, fn, expect: Optional[str] = None) -> Any:
+        start = time.monotonic()
+        try:
+            outcome, detail, value = fn()
+        except ServeError as exc:
+            outcome, detail, value = f"error:{exc.code}", str(exc), None
+        except Exception as exc:  # noqa: BLE001 - harness must report
+            outcome, detail, value = f"error:{type(exc).__name__}", str(exc), None
+        seconds = time.monotonic() - start
+        results.append(ServeBenchResult(name, outcome, seconds, detail))
+        if expect is not None and outcome != expect:
+            failures.append(f"{name}: expected {expect}, got {outcome} "
+                            f"({detail})")
+        return value
+
+    server = boot_server(("--tenants", "alice,bob", "--max-retries", "2",
+                          *server_args))
+    direct = _direct_result_bytes(config)
+    try:
+        client = ServeClient(server.url, tenant="alice")
+
+        step("health", lambda: (
+            "ok", client.health()["status"], None), expect="ok")
+
+        def analyze_cold():
+            out = client.analyze(SESSION_SOURCE, config=config)
+            served = canonical_json(out["analysis"]["result"])
+            identical = served == direct
+            return ("ok" if identical and not out["cached"] else "mismatch",
+                    f"digest={out['analysis']['result']['digest'][:12]} "
+                    f"identical={identical}", out)
+        step("analyze cold (differential)", analyze_cold, expect="ok")
+
+        def analyze_warm():
+            out = client.analyze(SESSION_SOURCE, config=config)
+            served = canonical_json(out["analysis"]["result"])
+            hit = out["cached"] and served == direct
+            return ("ok" if hit else "mismatch",
+                    f"cached={out['cached']}", out)
+        step("analyze warm (cache hit)", analyze_warm, expect="ok")
+
+        step("query callgraph", lambda: (
+            "ok",
+            f"edges={client.query(SESSION_SOURCE, {'kind': 'callgraph'}, config=config)['answer']['edge_count']}",
+            None), expect="ok")
+
+        step("query alias", lambda: (
+            "ok",
+            f"may_alias={client.query(SESSION_SOURCE, {'kind': 'alias', 'method': 'main', 'var_a': 'a', 'var_b': 'yf'}, config=config)['answer']['may_alias']}",
+            None), expect="ok")
+
+        def unknown_tenant():
+            status, body = client.raw(
+                "POST", "/v1/analyze",
+                {"program": SESSION_SOURCE, "tenant": "mallory"})
+            code = body.get("error", {}).get("code")
+            return (f"{status}/{code}", "structured rejection", None)
+        step("unknown tenant", unknown_tenant, expect="403/unknown-tenant")
+
+        def crash_fault():
+            status, body = client.raw(
+                "POST", "/v1/analyze",
+                {"program": SESSION_SOURCE, "tenant": "bob",
+                 "faults": "main-boundary:kind=crash:times=9"})
+            err = body.get("error", {})
+            return (f"{status}/{err.get('code')}/{err.get('kind')}",
+                    "no traceback on the wire", None)
+        step("crash fault", crash_fault, expect="500/internal/crash")
+
+        def transient_retry():
+            out = client.analyze(
+                SESSION_SOURCE, config=config, tenant="bob",
+                faults="main-boundary:kind=transient:times=1")
+            return ("ok" if out.get("retries") == 1 else "unexpected",
+                    f"retries={out.get('retries')} "
+                    f"status={out['analysis']['status']}", out)
+        step("transient retried", transient_retry, expect="ok")
+
+        def still_serving():
+            return ("ok", client.health()["status"], None)
+        step("health after chaos", still_serving, expect="ok")
+
+        stats = client.stats()
+        cache_stats = stats["cache"]
+    finally:
+        start = time.monotonic()
+        exit_code = server.terminate_and_wait()
+        drain_seconds = time.monotonic() - start
+    results.append(ServeBenchResult(
+        "SIGTERM drain", "ok" if exit_code == 0 else f"exit={exit_code}",
+        drain_seconds, "graceful shutdown"))
+    if exit_code != 0:
+        failures.append(f"drain: server exited {exit_code}, wanted 0")
+
+    return {"results": results, "failures": failures,
+            "cache": cache_stats, "config": config, "url": server.url}
+
+
+def render_report(outcome: Dict[str, Any]) -> str:
+    lines = [f"serve smoke: scripted session against a booted daemon "
+             f"(config {outcome['config']})",
+             ""]
+    lines.append(render_table(
+        ("step", "outcome", "latency", "detail"),
+        [r.row() for r in outcome["results"]],
+        title="Scripted session (loopback HTTP, stdlib client)"))
+    cache = outcome["cache"]
+    lines.append("")
+    lines.append(f"result cache: {cache['hits']} hits / "
+                 f"{cache['misses']} misses / {cache['entries']} resident "
+                 f"(capacity {cache['capacity']})")
+    if outcome["failures"]:
+        lines.append("")
+        lines.append("FAILURES:")
+        lines.extend(f"  - {failure}" for failure in outcome["failures"])
+    else:
+        lines.append("")
+        lines.append("all steps matched their expected outcomes; "
+                     "served results byte-identical to direct runs")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench serve",
+        description="boot the service daemon and run the scripted "
+                    "smoke session")
+    parser.add_argument("--config", default="M-2obj")
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this path")
+    args = parser.parse_args(argv)
+
+    outcome = run_serve_bench(config=args.config)
+    report = render_report(outcome)
+    print(report, end="")
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 1 if outcome["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

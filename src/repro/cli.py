@@ -10,6 +10,8 @@ Subcommands:
 * ``batch ...`` — run one configuration over a whole corpus with
   per-program failure isolation (alias of ``python -m repro.bench batch``);
 * ``bench <harness> ...`` — alias of ``python -m repro.bench``;
+* ``serve --port N ...`` — boot the analysis service daemon
+  (:mod:`repro.serve`, see ``docs/service.md``);
 * ``trace summarize|validate FILE`` — inspect a trace artifact written
   by ``analyze --trace/--trace-out`` or ``batch --trace-dir``
   (:mod:`repro.obs`).
@@ -71,12 +73,23 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if sinks:
         tracer = obs.Tracer(sinks=tuple(sinks))
     scc = None if args.scc is None else (args.scc == "on")
-    with plan_scope:
-        run = run_analysis(program, args.analysis,
-                           timeout_seconds=args.budget,
-                           merge_options=merge_options,
-                           governor=governor, degrade=degrade, scc=scc,
-                           tracer=tracer)
+    try:
+        with plan_scope:
+            run = run_analysis(program, args.analysis,
+                               timeout_seconds=args.budget,
+                               merge_options=merge_options,
+                               governor=governor, degrade=degrade, scc=scc,
+                               tracer=tracer)
+    except Exception as exc:  # noqa: BLE001 - classified, not a traceback
+        from repro.analysis.pipeline import classify_failure
+
+        if tracer is not None:
+            tracer.close()
+        failure = classify_failure(exc)
+        phase = failure.phase or "main"
+        print(f"error: {failure.kind} failure in {phase} phase "
+              f"({failure.error_type}): {failure.detail}", file=sys.stderr)
+        return 1
     if tracer is not None:
         tracer.close()
         if mem_sink is not None:
@@ -232,6 +245,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main([args.harness, *args.rest])
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import main as serve_main
+
+    return serve_main(args.rest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mahjong-repro",
@@ -322,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("harness")
     bench.add_argument("rest", nargs=argparse.REMAINDER)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the analysis service daemon "
+                      "(see docs/service.md)")
+    serve.add_argument("rest", nargs=argparse.REMAINDER)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -339,6 +364,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench.__main__ import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -79,6 +80,7 @@ __all__ = [
     "install",
     "uninstall",
     "active",
+    "thread_active",
     "current_plan",
     "fire",
     "corrupt_fpg",
@@ -371,6 +373,9 @@ class FaultPlan:
 # Process-wide activation
 # ----------------------------------------------------------------------
 _installed: Optional[FaultPlan] = None
+#: per-thread plan stack (request-scoped injection in the threaded
+#: analysis service) — consulted before the process-wide plan.
+_thread_plans = threading.local()
 #: memoized env parse: (env string, seed string) -> plan
 _env_cache: Optional[Tuple[Tuple[str, str], Optional[FaultPlan]]] = None
 
@@ -398,13 +403,45 @@ def active(plan: FaultPlan) -> Iterator[FaultPlan]:
         install(previous)
 
 
+@contextmanager
+def thread_active(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Scope a plan to the *calling thread* for a ``with`` block.
+
+    The analysis service runs one request per thread; a request's
+    ``?faults=`` plan must fire only inside that request's own pipeline
+    — never in a concurrent tenant's — so it is pushed onto a
+    thread-local stack that :func:`current_plan` consults before the
+    process-wide plan.  The injection points all fire on the thread
+    that drives the pipeline (phase boundaries, solver strides,
+    governor samples), which is what makes thread scoping sufficient;
+    work fanned out to pool threads (the parallel merge) does not see
+    thread-scoped plans.  ``plan=None`` is a no-op scope, so call sites
+    can use it unconditionally.
+    """
+    if plan is None:
+        yield None
+        return
+    stack = getattr(_thread_plans, "stack", None)
+    if stack is None:
+        stack = _thread_plans.stack = []
+    stack.append(plan)
+    try:
+        yield plan
+    finally:
+        stack.pop()
+
+
 def current_plan() -> Optional[FaultPlan]:
-    """The installed plan, else one parsed from the environment.
+    """The thread-scoped plan, else the installed plan, else one parsed
+    from the environment.
 
     The environment parse is memoized on the variable values, so a plan
     activated via ``REPRO_FAULTS`` keeps its firing state across calls
     (a ``times=1`` fault fires once per process, not once per query).
     """
+    stack = getattr(_thread_plans, "stack", None)
+    if stack:
+        return stack[-1]
     if _installed is not None:
         return _installed
     global _env_cache

@@ -40,6 +40,7 @@ for the duration of the run so fault firings land in the right trace.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -73,6 +74,10 @@ __all__ = [
 ]
 
 _installed: Optional[Tracer] = None
+#: per-thread tracer stack — :func:`active` scopes here so concurrent
+#: pipeline runs (one per analysis-service request thread) each see
+#: their own tracer without racing a process-wide slot.
+_thread_tracers = threading.local()
 
 
 def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
@@ -90,15 +95,31 @@ def uninstall() -> Optional[Tracer]:
 
 @contextmanager
 def active(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
-    """Scope a tracer to a ``with`` block (restores the previous one)."""
-    previous = install(tracer)
+    """Scope a tracer to the calling thread for a ``with`` block.
+
+    :func:`~repro.analysis.pipeline.run_analysis` wraps each run in
+    this so the module-level hooks (fault firings) land in the run's
+    own trace.  The scope is **thread-local**: two requests tracing
+    concurrently on different threads never see each other's tracer,
+    and restoring on exit cannot race another thread's install.  A
+    process-wide :func:`install` still works as the fallback for
+    single-threaded tooling.
+    """
+    stack = getattr(_thread_tracers, "stack", None)
+    if stack is None:
+        stack = _thread_tracers.stack = []
+    stack.append(tracer)
     try:
         yield tracer
     finally:
-        install(previous)
+        stack.pop()
 
 
 def current_tracer() -> Optional[Tracer]:
-    """The process-wide tracer, or ``None`` — hook for call sites that
-    cannot take a tracer parameter (the fault-injection points)."""
+    """The thread-scoped tracer, else the process-wide one, or ``None``
+    — hook for call sites that cannot take a tracer parameter (the
+    fault-injection points)."""
+    stack = getattr(_thread_tracers, "stack", None)
+    if stack:
+        return stack[-1]
     return _installed

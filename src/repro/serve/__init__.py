@@ -1,0 +1,62 @@
+"""``repro.serve`` — the analysis-as-a-service daemon and its client.
+
+A long-running, multi-tenant front end over
+:func:`repro.analysis.pipeline.run_analysis`: ``repro serve --port N``
+boots a stdlib :class:`~http.server.ThreadingHTTPServer` that keeps hot
+programs' results resident in a bounded LRU and wraps every request in
+admission control, fair-share budgets, deadlines, transient retry,
+request-scoped fault injection, and trace capture.  See
+``docs/service.md`` for the protocol and operational story.
+
+Layout:
+
+* :mod:`repro.serve.protocol` — wire vocabulary, program specs, cache
+  keys, the deterministic result payload backing the byte-identity
+  contract;
+* :mod:`repro.serve.tenants` — admission control and per-tenant
+  accounting;
+* :mod:`repro.serve.server` — the service core, HTTP shell, and
+  ``main()``;
+* :mod:`repro.serve.client` — the stdlib client.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    BadRequest,
+    canonical_json,
+    deterministic_result,
+    result_digest,
+)
+from repro.serve.server import (
+    AnalysisService,
+    ResultCache,
+    ServeDaemon,
+    ServiceConfig,
+    main,
+)
+from repro.serve.tenants import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTicket,
+    TenantState,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "BadRequest",
+    "canonical_json",
+    "deterministic_result",
+    "result_digest",
+    "ServeClient",
+    "ServeError",
+    "AnalysisService",
+    "ResultCache",
+    "ServeDaemon",
+    "ServiceConfig",
+    "main",
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionTicket",
+    "TenantState",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — boot the analysis service daemon."""
+
+from repro.serve.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Stdlib client for the analysis service.
+
+:class:`ServeClient` speaks the JSON-over-HTTP protocol of
+:mod:`repro.serve.server` using nothing beyond
+:mod:`urllib.request` — the same no-new-dependencies discipline as the
+server.  Transport-level failures and non-2xx responses both surface
+as :class:`ServeError` carrying the structured error body (code,
+message, retry_after, failure classification), so callers never parse
+HTTP minutiae::
+
+    with ServeClient("http://127.0.0.1:8750") as client:
+        out = client.analyze(program={"kind": "corpus", "name": "dispatch"},
+                             config="M-2obj", tenant="alice")
+        print(out["analysis"]["result"]["digest"])
+
+Every method returns the decoded JSON body of a 2xx response (the
+``ok: true`` envelope included).  :meth:`ServeClient.raw` exposes the
+``(status, body)`` pair for tests that assert on rejection statuses.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(Exception):
+    """A request failed; carries the structured error body.
+
+    ``status`` is the HTTP status (0 for transport failures before any
+    response), ``code``/``message`` the wire error fields, ``body`` the
+    full decoded error envelope, ``retry_after`` the server's advisory
+    backoff when it sent one.
+    """
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        error = body.get("error") if isinstance(body, dict) else None
+        error = error if isinstance(error, dict) else {}
+        self.status = status
+        self.body = body
+        self.code = str(error.get("code", "transport"))
+        self.retry_after = error.get("retry_after")
+        message = str(error.get("message", body))
+        super().__init__(f"[{status}/{self.code}] {message}")
+
+
+class ServeClient:
+    """A tiny synchronous client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout: Optional[float] = 60.0,
+                 tenant: str = "default") -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: default tenant stamped on requests that don't name one.
+        self.tenant = tenant
+
+    # -- context manager (no held sockets, but symmetry is free) --------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        return None
+
+    # -- transport ------------------------------------------------------
+    def raw(self, method: str, path: str,
+            body: Optional[Dict[str, Any]] = None,
+            ) -> Tuple[int, Dict[str, Any]]:
+        """One request, no raising: ``(status, decoded_body)``."""
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.status, _decode(response.read())
+        except urllib.error.HTTPError as exc:
+            # non-2xx: the server still sent a structured JSON body
+            return exc.code, _decode(exc.read())
+        except OSError as exc:
+            return 0, {"ok": False,
+                       "error": {"code": "transport", "message": str(exc)}}
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        status, payload = self.raw(method, path, body)
+        if status < 200 or status >= 300 or not payload.get("ok", False):
+            raise ServeError(status, payload)
+        return payload
+
+    # -- endpoints ------------------------------------------------------
+    def analyze(self, program: Any, config: Optional[str] = None,
+                tenant: Optional[str] = None, **options: Any,
+                ) -> Dict[str, Any]:
+        """``POST /v1/analyze``.
+
+        ``options`` passes through protocol fields verbatim:
+        ``deadline_seconds``, ``faults``, ``faults_seed``, ``trace``,
+        ``cache``, ``degrade``.
+        """
+        body: Dict[str, Any] = {"program": program,
+                                "tenant": tenant or self.tenant}
+        if config is not None:
+            body["config"] = config
+        body.update(options)
+        return self._call("POST", "/v1/analyze", body)
+
+    def query(self, program: Any, query: Dict[str, Any],
+              config: Optional[str] = None, tenant: Optional[str] = None,
+              **options: Any) -> Dict[str, Any]:
+        """``POST /v1/query`` — ``query`` is e.g. ``{"kind": "alias",
+        "method": "A.main", "var_a": "x", "var_b": "y"}``."""
+        body: Dict[str, Any] = {"program": program, "query": query,
+                                "tenant": tenant or self.tenant}
+        if config is not None:
+            body["config"] = config
+        body.update(options)
+        return self._call("POST", "/v1/query", body)
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/stats")
+
+
+def _decode(raw: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return {"ok": False,
+                "error": {"code": "transport",
+                          "message": f"unparseable response: {raw[:200]!r}"}}
+    if isinstance(payload, dict):
+        return payload
+    return {"ok": False, "error": {"code": "transport",
+                                   "message": "non-object response"}}

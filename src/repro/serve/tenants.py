@@ -1,0 +1,209 @@
+"""Multi-tenant admission control for the analysis service.
+
+Modeled on the tenant/allocation-controller split of multi-tenant KV
+stores: a :class:`TenantState` per client holds its in-flight count and
+cumulative accounting, and the :class:`AdmissionController` makes the
+admit/reject decision *before* any work starts.  Rejection is always a
+structured :class:`AdmissionRejected` — the service maps it to a
+429-style JSON error; a tenant exceeding its share is never able to
+take the process down or starve the others:
+
+* a **global** in-flight ceiling protects the process;
+* a **per-tenant** in-flight ceiling (the tenant's fair share of the
+  global one) keeps one chatty tenant from occupying every slot;
+* an optional **allowlist** rejects unknown tenants outright;
+* once **draining** (SIGTERM), nothing new is admitted while in-flight
+  requests finish — :meth:`AdmissionController.drain` blocks until the
+  last one releases its ticket.
+
+Budget *enforcement* (memory/wall/work while a request runs) is the
+:class:`~repro.analysis.governor.ResourceGovernor`'s job — admission
+only decides who gets to start, and each admitted request builds its
+own governor from the tenant's sliced
+:class:`~repro.analysis.governor.GovernorSpec`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "AdmissionRejected",
+    "TenantState",
+    "AdmissionTicket",
+    "AdmissionController",
+]
+
+
+class AdmissionRejected(Exception):
+    """A request was refused before any work started.
+
+    ``code`` is the wire error code (``tenant-busy``, ``server-busy``,
+    ``draining``, ``unknown-tenant``); ``http_status`` the suggested
+    HTTP status; ``retry_after`` an advisory client backoff in seconds
+    (``None`` when retrying is pointless, e.g. unknown tenant).
+    """
+
+    def __init__(self, code: str, message: str, http_status: int = 429,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.http_status = http_status
+        self.retry_after = retry_after
+
+
+@dataclass
+class TenantState:
+    """One tenant's live accounting (guarded by the controller lock)."""
+
+    name: str
+    inflight: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    #: completed requests by outcome status ("ok"/"degraded"/...).
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    busy_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "inflight": self.inflight,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "busy_seconds": round(self.busy_seconds, 4),
+        }
+
+
+class AdmissionTicket:
+    """Proof of admission; release exactly once, in a ``finally``."""
+
+    def __init__(self, controller: "AdmissionController", tenant: str) -> None:
+        self._controller = controller
+        self.tenant = tenant
+        self._start = time.monotonic()
+        self._released = False
+
+    def release(self, outcome: str) -> None:
+        """Hand the slot back, recording the request's outcome status."""
+        if self._released:
+            return
+        self._released = True
+        self._controller._release(self.tenant, outcome,
+                                  time.monotonic() - self._start)
+
+
+class AdmissionController:
+    """Admit/reject requests against global and per-tenant ceilings."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        tenant_inflight: Optional[int] = None,
+        tenants: Tuple[str, ...] = (),
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        if tenant_inflight is None:
+            # fair share of the global ceiling across the configured
+            # tenants (open admission defaults to half the ceiling so
+            # no single anonymous client can occupy every slot)
+            claimants = max(2, len(tenants)) if tenants else 2
+            tenant_inflight = max(1, max_inflight // claimants)
+        if tenant_inflight < 1:
+            raise ValueError("tenant_inflight must be >= 1")
+        self.tenant_inflight = tenant_inflight
+        #: allowlist; empty = open admission (any tenant name).
+        self.tenants = tuple(tenants)
+        self._cond = threading.Condition()
+        self._states: Dict[str, TenantState] = {
+            name: TenantState(name) for name in tenants
+        }
+        self._inflight = 0
+        self._draining = False
+
+    # -- admission ------------------------------------------------------
+    def _state(self, tenant: str) -> TenantState:
+        state = self._states.get(tenant)
+        if state is None:
+            state = self._states[tenant] = TenantState(tenant)
+        return state
+
+    def admit(self, tenant: str) -> AdmissionTicket:
+        """Claim a slot for ``tenant`` or raise :class:`AdmissionRejected`."""
+        with self._cond:
+            if self._draining:
+                raise AdmissionRejected(
+                    "draining", "server is draining; not admitting new "
+                    "requests", http_status=503)
+            if self.tenants and tenant not in self.tenants:
+                # do not create state for unknown names: a scanner
+                # cycling tenant ids must not grow our tables
+                raise AdmissionRejected(
+                    "unknown-tenant", f"unknown tenant {tenant!r}",
+                    http_status=403)
+            state = self._state(tenant)
+            if self._inflight >= self.max_inflight:
+                state.rejected += 1
+                raise AdmissionRejected(
+                    "server-busy",
+                    f"server at capacity ({self.max_inflight} in flight)",
+                    retry_after=0.1)
+            if state.inflight >= self.tenant_inflight:
+                state.rejected += 1
+                raise AdmissionRejected(
+                    "tenant-busy",
+                    f"tenant {tenant!r} at its fair share "
+                    f"({self.tenant_inflight} in flight)",
+                    retry_after=0.1)
+            state.inflight += 1
+            state.admitted += 1
+            self._inflight += 1
+        return AdmissionTicket(self, tenant)
+
+    def _release(self, tenant: str, outcome: str, seconds: float) -> None:
+        with self._cond:
+            state = self._state(tenant)
+            state.inflight -= 1
+            state.completed += 1
+            state.outcomes[outcome] = state.outcomes.get(outcome, 0) + 1
+            state.busy_seconds += seconds
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    # -- drain ----------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait for in-flight requests to finish.
+
+        Returns True when the last ticket was released within
+        ``timeout`` (``None`` = wait forever).  Idempotent.
+        """
+        with self._cond:
+            self._draining = True
+            return self._cond.wait_for(lambda: self._inflight == 0,
+                                       timeout=timeout)
+
+    # -- introspection --------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._cond:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "tenant_inflight": self.tenant_inflight,
+                "draining": self._draining,
+                "tenants": {name: state.as_dict()
+                            for name, state in sorted(self._states.items())},
+            }

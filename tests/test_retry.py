@@ -1,0 +1,147 @@
+"""The shared transient-retry engine (:mod:`repro.retry`).
+
+The batch runner's jittered backoff extracted for reuse by the serving
+layer; these tests pin the policy math and the retry-loop discipline
+(plan-but-never-sleep on the final give-up) that the batch regression
+tests observe indirectly through recorded ``backoff_delays``.
+"""
+
+import random
+
+import pytest
+
+from repro.retry import (
+    RetriesExhausted,
+    RetryPolicy,
+    RetryState,
+    call_with_retry,
+)
+
+
+class _Flaky(Exception):
+    pass
+
+
+class _Fatal(Exception):
+    pass
+
+
+def _fails(times, exc_type=_Flaky):
+    """A callable that raises ``times`` times, then returns 'done'."""
+    remaining = {"n": times}
+
+    def fn():
+        if remaining["n"] > 0:
+            remaining["n"] -= 1
+            raise exc_type(f"boom {remaining['n']}")
+        return "done"
+
+    return fn
+
+
+class TestRetryPolicy:
+    def test_delay_is_exponential_with_jitter(self):
+        policy = RetryPolicy(max_retries=5, backoff_seconds=0.1)
+        rng = random.Random(7)
+        jitters = [random.Random(7).random() for _ in range(1)]
+        d0 = policy.delay(0, rng)
+        # base * 2^0 * (0.5 + u) with u in [0, 1)
+        assert 0.05 <= d0 < 0.15
+        d1 = policy.delay(1, rng)
+        assert 0.1 <= d1 < 0.3
+        d2 = policy.delay(2, rng)
+        assert 0.2 <= d2 < 0.6
+        assert jitters  # rng consumed one uniform per delay
+
+    def test_delay_deterministic_under_seed(self):
+        policy = RetryPolicy(max_retries=2, backoff_seconds=0.05)
+        a = [policy.delay(i, random.Random(3)) for i in range(3)]
+        b = [policy.delay(i, random.Random(3)) for i in range(3)]
+        assert a == b
+
+
+class TestCallWithRetry:
+    def test_success_first_try_sleeps_never(self):
+        slept = []
+        out = call_with_retry(_fails(0), policy=RetryPolicy(),
+                              rng=random.Random(0), retryable=_Flaky,
+                              sleeper=slept.append)
+        assert out == "done"
+        assert slept == []
+
+    def test_retries_then_succeeds(self):
+        slept = []
+        state = RetryState()
+        out = call_with_retry(_fails(2), policy=RetryPolicy(max_retries=3),
+                              rng=random.Random(0), retryable=_Flaky,
+                              sleeper=slept.append, state=state)
+        assert out == "done"
+        assert state.retries == 2
+        assert slept == state.delays
+        assert len(state.delays) == 2
+
+    def test_exhaustion_plans_final_delay_but_never_sleeps_it(self):
+        """The batch runner's signature discipline: the give-up attempt
+        records one more planned delay than it sleeps."""
+        slept = []
+        policy = RetryPolicy(max_retries=2, backoff_seconds=10.0)
+        with pytest.raises(RetriesExhausted) as info:
+            call_with_retry(_fails(99), policy=policy,
+                            rng=random.Random(5), retryable=_Flaky,
+                            sleeper=slept.append)
+        exc = info.value
+        assert exc.retries == 2
+        assert len(exc.delays) == 3
+        assert slept == exc.delays[:2]
+        assert isinstance(exc.last, _Flaky)
+        assert "transient fault persisted after 2 retries" in str(exc)
+
+    def test_non_retryable_propagates_untouched(self):
+        slept = []
+        with pytest.raises(_Fatal):
+            call_with_retry(_fails(1, _Fatal), policy=RetryPolicy(),
+                            rng=random.Random(0), retryable=_Flaky,
+                            sleeper=slept.append)
+        assert slept == []
+
+    def test_on_backoff_sees_retry_number_and_delay(self):
+        seen = []
+        call_with_retry(_fails(2), policy=RetryPolicy(max_retries=3),
+                        rng=random.Random(1), retryable=_Flaky,
+                        sleeper=lambda _d: None,
+                        on_backoff=lambda retry, delay: seen.append(
+                            (retry, delay)))
+        assert [retry for retry, _ in seen] == [1, 2]
+        assert all(delay > 0 for _, delay in seen)
+
+    def test_zero_retries_policy_fails_immediately(self):
+        slept = []
+        with pytest.raises(RetriesExhausted) as info:
+            call_with_retry(_fails(1), policy=RetryPolicy(max_retries=0),
+                            rng=random.Random(0), retryable=_Flaky,
+                            sleeper=slept.append)
+        assert info.value.retries == 0
+        assert len(info.value.delays) == 1  # planned, never slept
+        assert slept == []
+
+    def test_deterministic_delays_under_seed(self):
+        def run():
+            state = RetryState()
+            with pytest.raises(RetriesExhausted):
+                call_with_retry(_fails(99),
+                                policy=RetryPolicy(max_retries=3,
+                                                   backoff_seconds=0.01),
+                                rng=random.Random(42), retryable=_Flaky,
+                                sleeper=lambda _d: None, state=state)
+            return state.delays
+
+        assert run() == run()
+
+    def test_state_records_match_exception_records(self):
+        state = RetryState()
+        with pytest.raises(RetriesExhausted) as info:
+            call_with_retry(_fails(99), policy=RetryPolicy(max_retries=1),
+                            rng=random.Random(9), retryable=_Flaky,
+                            sleeper=lambda _d: None, state=state)
+        assert state.retries == info.value.retries
+        assert state.delays == info.value.delays

@@ -1,0 +1,208 @@
+"""Chaos soak: the service under concurrent fault streams.
+
+The serving twin of the batch runner's fault-matrix tests: many
+threads, several tenants, a request mix of clean runs, crash faults,
+transient faults (some recoverable, some not), injected exhaustion, and
+malformed requests — all at once.  The properties soaked for:
+
+* **responsiveness** — every request gets a structured response;
+  health answers throughout; the process never dies;
+* **tenant isolation** — one tenant's chaos never shows up in another
+  tenant's accounting, and the clean tenant's results stay
+  byte-identical to a direct run;
+* **no bare tracebacks** — every failure is a classified JSON error;
+* **drain** — after the storm, SIGTERM-style drain completes with
+  zero in-flight requests and admission closed.
+"""
+
+import json
+import random
+import threading
+
+from repro.analysis.pipeline import run_analysis
+from repro.frontend import parse_program
+from repro.retry import RetryPolicy
+from repro.serve.client import ServeClient
+from repro.serve.protocol import canonical_json, deterministic_result
+from repro.serve.server import AnalysisService, ServeDaemon, ServiceConfig
+
+from .conftest import FIGURE1_SOURCE
+
+TENANTS = ("clean", "crasher", "flaky", "starved")
+
+#: request templates per tenant: (body-extras, acceptable status codes)
+CHAOS_MENU = {
+    "clean": [({}, {200})],
+    "crasher": [
+        ({"faults": "main-boundary:kind=crash:times=99"}, {500}),
+        ({"faults": "pre-boundary:kind=crash:times=99"}, {500}),
+        ({}, {200}),
+    ],
+    "flaky": [
+        ({"faults": "main-boundary:kind=transient:times=1"}, {200}),
+        ({"faults": "main-boundary:kind=transient:times=99"}, {503}),
+        ({}, {200}),
+    ],
+    "starved": [
+        ({"faults": "main-boundary:kind=exhaust:times=99"}, {200}),
+        ({"config": "nonsense"}, {400}),
+        ({"program": {"kind": "bogus"}}, {400}),
+    ],
+}
+
+
+def _expected_clean_bytes() -> bytes:
+    run = run_analysis(parse_program(FIGURE1_SOURCE), "M-2obj")
+    return canonical_json(deterministic_result(run))
+
+
+class TestChaosSoak:
+    def test_soak_structured_responses_and_isolation(self):
+        service = AnalysisService(ServiceConfig(
+            tenants=TENANTS, max_inflight=8, tenant_inflight=2,
+            retry=RetryPolicy(max_retries=2, backoff_seconds=0.001),
+        ))
+        clean_bytes = _expected_clean_bytes()
+        violations = []
+        admitted_counts = {tenant: 0 for tenant in TENANTS}
+        lock = threading.Lock()
+
+        def soak(tenant: str, worker: int) -> None:
+            rng = random.Random(worker * 7919 + hash(tenant) % 1000)
+            for round_number in range(6):
+                extras, acceptable = CHAOS_MENU[tenant][
+                    rng.randrange(len(CHAOS_MENU[tenant]))]
+                body = {"program": FIGURE1_SOURCE, "config": "M-2obj",
+                        "tenant": tenant, **extras}
+                try:
+                    status, payload = service.handle(
+                        "POST", "/v1/analyze", body)
+                except Exception as exc:  # noqa: BLE001 - soak must record
+                    with lock:
+                        violations.append(
+                            f"{tenant}/{worker}: handle raised "
+                            f"{type(exc).__name__}: {exc}")
+                    continue
+                problems = []
+                # admission pushback is always acceptable under load
+                if status not in acceptable | {429}:
+                    problems.append(f"status {status}")
+                if status != 400:
+                    # 400s are rejected before admission and never
+                    # reach the tenant ledger
+                    with lock:
+                        admitted_counts[tenant] += 1
+                if not isinstance(payload, dict) or "ok" not in payload:
+                    problems.append("unstructured payload")
+                if "Traceback" in json.dumps(payload):
+                    problems.append("traceback leaked")
+                if (tenant == "clean" and status == 200
+                        and canonical_json(payload["analysis"]["result"])
+                        != clean_bytes):
+                    problems.append("clean tenant result corrupted")
+                if problems:
+                    with lock:
+                        violations.append(
+                            f"{tenant}/{worker} round {round_number}: "
+                            f"{'; '.join(problems)} <- {payload}")
+
+        workers = [
+            threading.Thread(target=soak, args=(tenant, index))
+            for tenant in TENANTS for index in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        # the server must answer health while the storm runs
+        health_codes = set()
+        for worker in workers:
+            status, _body = service.handle("GET", "/v1/health")
+            health_codes.add(status)
+            worker.join()
+        assert health_codes == {200}
+        assert not violations, "\n".join(violations)
+
+        snapshot = service.admission.snapshot()
+        assert snapshot["inflight"] == 0
+        tenants = snapshot["tenants"]
+        # isolation: chaos outcomes stay within their tenant's ledger
+        assert "internal" not in tenants["clean"]["outcomes"]
+        assert "transient" not in tenants["clean"]["outcomes"]
+        assert tenants["clean"]["outcomes"].get("ok", 0) > 0
+        for name in TENANTS:
+            state = tenants[name]
+            assert state["completed"] + state["rejected"] >= \
+                admitted_counts[name]
+        # the storm over, a clean request still round-trips perfectly
+        status, body = service.handle(
+            "POST", "/v1/analyze",
+            {"program": FIGURE1_SOURCE, "config": "M-2obj",
+             "tenant": "clean"})
+        assert status == 200
+        assert canonical_json(body["analysis"]["result"]) == clean_bytes
+
+        # and drain closes the doors with nothing in flight
+        assert service.admission.drain(timeout=10.0) is True
+        status, body = service.handle(
+            "POST", "/v1/analyze",
+            {"program": FIGURE1_SOURCE, "tenant": "clean"})
+        assert status == 503
+        assert body["error"]["code"] == "draining"
+
+
+class TestHTTPDrainUnderLoad:
+    def test_drain_waits_for_inflight_requests(self):
+        """Drain during a slow request: the request completes (not
+        killed), new admissions get 503, and the daemon stops cleanly."""
+        daemon = ServeDaemon(ServiceConfig(
+            port=0, max_inflight=4, tenant_inflight=4))
+        serve_thread = threading.Thread(target=daemon.serve_forever,
+                                        daemon=True)
+        serve_thread.start()
+        host, port = daemon.address
+        client = ServeClient(f"http://{host}:{port}")
+        results = {}
+
+        def slow_request():
+            # a cold profile solve: long enough to still be in flight
+            # when drain begins
+            results["slow"] = client.raw("POST", "/v1/analyze", {
+                "program": {"kind": "profile", "name": "luindex",
+                            "scale": 0.3},
+                "config": "2obj", "cache": False})
+
+        worker = threading.Thread(target=slow_request)
+        worker.start()
+        # wait for the request to be admitted before draining
+        for _ in range(200):
+            if daemon.service.admission.inflight > 0:
+                break
+            threading.Event().wait(0.01)
+        drained = daemon.drain(timeout=60.0)
+        worker.join(timeout=60.0)
+        daemon.server_close()
+        serve_thread.join(timeout=10.0)
+
+        assert drained is True
+        status, payload = results["slow"]
+        assert status == 200, payload
+        assert payload["ok"] is True
+        assert daemon.service.admission.inflight == 0
+
+
+class TestSubprocessSigterm:
+    def test_sigterm_drains_and_exits_zero(self):
+        """The real signal path: boot the daemon as a subprocess, do a
+        little work, SIGTERM it, and require a clean exit with the
+        farewell line."""
+        from repro.bench.serve import boot_server
+
+        server = boot_server(("--max-retries", "1"))
+        try:
+            client = ServeClient(server.url)
+            out = client.analyze(FIGURE1_SOURCE, config="ci")
+            assert out["analysis"]["status"] == "ok"
+        finally:
+            exit_code = server.terminate_and_wait(timeout=30.0)
+        assert exit_code == 0
+        output = server.process.stdout.read()
+        assert "drained cleanly" in output
