@@ -1,0 +1,81 @@
+"""Hierarchy-ordered numbering benchmarks: range masks vs scatter.
+
+Mirrors ``python -m repro.bench numbering`` under pytest-benchmark:
+the full mask-table build both ways, and full solves under each switch
+position on both points-to backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.numbering import measure_mask_build, measure_numbering_ab
+from repro.pta.bitset import (
+    BACKEND_BITSET,
+    BACKEND_SET,
+    ClassFilterMasks,
+    RangeFilterMasks,
+)
+from repro.pta.heapmodel import AllocationSiteAbstraction
+from repro.pta.numbering import HierarchyNumbering
+from repro.pta.solver import Solver
+
+from benchmarks.conftest import program_for
+
+PROFILES = ["luindex", "cycles"]
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("path", ["scatter", "range"])
+def test_mask_table_build(benchmark, profile, path):
+    """Build every class's filter mask over the numbered population."""
+    program = program_for(profile, 1.0)
+    numbering = HierarchyNumbering.build(program,
+                                         AllocationSiteAbstraction())
+    classes = [numbering.key_class[key] for key in numbering.slot_keys]
+    is_subtype = program.hierarchy.is_subtype_names
+    filter_classes = sorted(numbering.class_ranges)
+    is_subtype(classes[0], filter_classes[0])  # warm the subtype memo
+
+    def build():
+        if path == "range":
+            masks = RangeFilterMasks(numbering.class_ranges, classes,
+                                     is_subtype, start=numbering.count)
+        else:
+            masks = ClassFilterMasks(classes, is_subtype)
+        return [masks.mask_for(c) for c in filter_classes]
+
+    benchmark.group = f"numbering-mask-build-{profile}"
+    table = benchmark(build)
+    assert len(table) == len(filter_classes)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("numbering", [False, True], ids=["nonum", "num"])
+@pytest.mark.parametrize("backend", [BACKEND_BITSET, BACKEND_SET])
+def test_full_solve(benchmark, profile, numbering, backend):
+    program = program_for(profile, 1.0)
+    benchmark.group = f"numbering-solve-{profile}-{backend}"
+    result = benchmark(
+        lambda: Solver(program, pts_backend=backend,
+                       numbering=numbering).solve()
+    )
+    assert result.stats()["numbering"] is numbering
+    assert result.object_count > 0
+
+
+@pytest.mark.parametrize("profile", ["luindex"])
+def test_ab_reproduces_facts(benchmark, profile):
+    """The harness's own correctness gates (facts and masks asserted
+    identical inside the measure functions), kept under benchmark so
+    the suite exercises them at bench scale."""
+    program = program_for(profile, 1.0)
+    build = measure_mask_build(program, profile, rounds=1)
+    assert build.range_subtype_tests == 0
+    assert build.scatter_subtype_tests > 0
+    measurement = benchmark.pedantic(
+        lambda: measure_numbering_ab(program, profile, "ci", repeats=1),
+        rounds=1, iterations=1,
+    )
+    assert measurement.facts > 0
+    assert measurement.numbered_slots > 0

@@ -7,15 +7,19 @@ site) followed by a context-sensitivity name (``ci``, ``2cs``, ``2obj``,
 ``T-2type``, ``M-ci``.
 
 A configuration may additionally pin solver internals with ``@`` suffix
-tokens, each either a points-to-set backend name or a constraint-graph
-condensation switch — ``3obj@set`` runs the baseline 3obj analysis on
-the legacy ``set[int]`` backend, ``M-3obj@noscc`` disables cycle
-collapsing (``@scc`` forces it on), ``2obj@set@noscc`` combines both,
-and ``M-3obj`` (no suffix) uses the process defaults (bit-vector ints,
-condensation on; see :mod:`repro.pta.bitset` / :mod:`repro.pta.scc`).
+tokens, each a points-to-set backend name, a constraint-graph
+condensation switch, or an object-numbering switch — ``3obj@set`` runs
+the baseline 3obj analysis on the legacy ``set[int]`` backend,
+``M-3obj@noscc`` disables cycle collapsing (``@scc`` forces it on),
+``2obj@nonum`` restores discovery-order object ids (``@num`` forces the
+hierarchy-ordered numbering on), ``2obj@set@noscc@nonum`` combines
+them, and ``M-3obj`` (no suffix) uses the process defaults (bit-vector
+ints, condensation on, numbering on; see :mod:`repro.pta.bitset` /
+:mod:`repro.pta.scc` / :mod:`repro.pta.numbering`).
 The suffixes exist for A/B validation: the differential tests and the
-``repro.bench backends`` / ``repro.bench scc`` harnesses run the same
-configuration under both alternatives and assert/measure.
+``repro.bench backends`` / ``repro.bench scc`` / ``repro.bench
+numbering`` harnesses run the same configuration under both
+alternatives and assert/measure.
 """
 
 from __future__ import annotations
@@ -31,6 +35,10 @@ __all__ = ["AnalysisConfig", "parse_config", "PAPER_BASELINES", "PAPER_CONFIGS",
 #: Recognized ``@`` condensation tokens (resolved by
 #: :func:`repro.pta.scc.resolve_scc` to on/off).
 _SCC_TOKENS = {"scc": True, "noscc": False}
+
+#: Recognized ``@`` object-numbering tokens (resolved by
+#: :func:`repro.pta.numbering.resolve_numbering` to on/off).
+_NUMBERING_TOKENS = {"num": True, "nonum": False}
 
 #: The five baselines the paper evaluates (Section 6.2.1).
 PAPER_BASELINES: Tuple[str, ...] = ("2cs", "2obj", "3obj", "2type", "3type")
@@ -53,6 +61,9 @@ class AnalysisConfig:
     #: constraint-graph condensation; ``None`` = process default
     #: (resolved through :func:`repro.pta.scc.resolve_scc`).
     scc: Optional[bool] = None
+    #: hierarchy-ordered object numbering; ``None`` = process default
+    #: (resolved through :func:`repro.pta.numbering.resolve_numbering`).
+    numbering: Optional[bool] = None
 
     @property
     def needs_pre_analysis(self) -> bool:
@@ -64,7 +75,7 @@ class AnalysisConfig:
 
 def parse_config(name: str) -> AnalysisConfig:
     """Parse a configuration name like ``M-3obj``, ``3obj@set`` or
-    ``2obj@set@noscc``.
+    ``2obj@set@noscc@nonum``.
 
     Raises ``ValueError`` for unknown prefixes, sensitivities, or
     ``@`` suffix tokens (the sensitivity grammar is validated by
@@ -75,6 +86,7 @@ def parse_config(name: str) -> AnalysisConfig:
     base = name
     pts_backend: Optional[str] = None
     scc: Optional[bool] = None
+    numbering: Optional[bool] = None
     if "@" in name:
         base, *tokens = name.split("@")
         for token in tokens:
@@ -90,11 +102,18 @@ def parse_config(name: str) -> AnalysisConfig:
                         f"conflicting condensation tokens in {name!r}"
                     )
                 scc = _SCC_TOKENS[token]
+            elif token in _NUMBERING_TOKENS:
+                if numbering is not None:
+                    raise ValueError(
+                        f"conflicting numbering tokens in {name!r}"
+                    )
+                numbering = _NUMBERING_TOKENS[token]
             else:
                 raise ValueError(
                     f"unknown @-token {token!r} in {name!r}; known: "
                     f"{', '.join(BACKEND_NAMES)}, "
-                    f"{', '.join(sorted(_SCC_TOKENS))}"
+                    f"{', '.join(sorted(_SCC_TOKENS))}, "
+                    f"{', '.join(sorted(_NUMBERING_TOKENS))}"
                 )
     heap = "alloc-site"
     sensitivity = base
@@ -107,4 +126,5 @@ def parse_config(name: str) -> AnalysisConfig:
     # validate eagerly so configuration typos fail before a long solve
     selector_for(sensitivity)
     return AnalysisConfig(name=name, heap=heap, sensitivity=sensitivity,
-                          pts_backend=pts_backend, scc=scc)
+                          pts_backend=pts_backend, scc=scc,
+                          numbering=numbering)

@@ -320,6 +320,7 @@ def run_pre_analysis(
     perf: Optional[PerfRecorder] = None,
     governor=None,
     scc: Optional[bool] = None,
+    numbering: Optional[bool] = None,
     tracer: Optional[obs.Tracer] = None,
 ) -> PreAnalysisArtifacts:
     """Phases 1–3: ci points-to analysis, FPG construction, MAHJONG.
@@ -327,7 +328,9 @@ def run_pre_analysis(
     ``pts_backend`` selects the points-to-set representation for the
     pre-analysis solve (``None`` = process default); ``scc`` switches
     its constraint-graph condensation (``None`` = resolve through
-    ``$REPRO_SCC``/default); ``perf`` optionally collects
+    ``$REPRO_SCC``/default); ``numbering`` switches hierarchy-ordered
+    object numbering (``None`` = resolve through
+    ``$REPRO_NUMBERING``/default); ``perf`` optionally collects
     counters/timers across all three phases; ``governor`` budgets each
     phase (``pre``/``fpg``/``merge``); ``tracer`` wraps each phase in a
     ``phase:*`` span.  Exhaustion raises
@@ -343,7 +346,8 @@ def run_pre_analysis(
                                 timeout_seconds=timeout_seconds,
                                 pts_backend=pts_backend, perf=perf,
                                 governor=governor, phase_label="pre",
-                                scc=scc, tracer=tracer).solve()
+                                scc=scc, numbering=numbering,
+                                tracer=tracer).solve()
     t1 = time.monotonic()
     with _maybe_span(tracer, "phase:fpg"):
         with _phase_scope(governor, "fpg"):
@@ -409,12 +413,15 @@ def next_rung(config_name: str, failed_phase: Optional[str]) -> Optional[str]:
     context sensitivity; pre-analysis exhaustion (``pre``/``fpg``/
     ``merge`` — the MAHJONG machinery itself was the problem) falls back
     to the allocation-site heap at the same sensitivity.  ``@`` suffix
-    tokens (backend, condensation) are carried through unchanged.
+    tokens (backend, condensation, numbering) are carried through
+    unchanged.
     """
     config = parse_config(config_name)
     suffix = f"@{config.pts_backend}" if config.pts_backend else ""
     if config.scc is not None:
         suffix += "@scc" if config.scc else "@noscc"
+    if config.numbering is not None:
+        suffix += "@num" if config.numbering else "@nonum"
     if failed_phase in PRE_PHASES and config.heap == "mahjong":
         return config.sensitivity + suffix
     sensitivity = coarser_sensitivity(config.sensitivity)
@@ -463,6 +470,7 @@ def _solve_main(
     perf: Optional[PerfRecorder],
     governor,
     scc: Optional[bool] = None,
+    numbering: Optional[bool] = None,
     tracer: Optional[obs.Tracer] = None,
 ) -> AnalysisRun:
     """Phase 4 for one configuration; raises on exhaustion."""
@@ -471,7 +479,7 @@ def _solve_main(
                     timeout_seconds=timeout_seconds,
                     pts_backend=pts_backend, perf=perf,
                     governor=governor, phase_label="main", scc=scc,
-                    tracer=tracer)
+                    numbering=numbering, tracer=tracer)
     start = time.monotonic()
     with _maybe_span(tracer, "phase:main"):
         with _phase_scope(governor, "main"):
@@ -495,6 +503,7 @@ def run_analysis(
     governor=None,
     degrade: Union[None, bool, str, Sequence[str]] = None,
     scc: Optional[bool] = None,
+    numbering: Optional[bool] = None,
     tracer: Optional[obs.Tracer] = None,
 ) -> AnalysisRun:
     """Run a named analysis configuration end to end.
@@ -516,7 +525,8 @@ def run_analysis(
     with neither given, the process default representation is used.
     ``scc`` likewise overrides the ``@scc``/``@noscc`` suffix for both
     the pre-analysis and main solves (``None`` → suffix → ``$REPRO_SCC``
-    → on).
+    → on), and ``numbering`` the ``@num``/``@nonum`` suffix (``None`` →
+    suffix → ``$REPRO_NUMBERING`` → on).
 
     ``tracer`` (``None`` = the process-wide one from
     :func:`repro.obs.current_tracer`, if installed) records the run as
@@ -551,6 +561,8 @@ def run_analysis(
             config = parse_config(current)
             backend = pts_backend if pts_backend is not None else config.pts_backend
             use_scc = scc if scc is not None else config.scc
+            use_numbering = (numbering if numbering is not None
+                             else config.numbering)
             attempt_perf = PerfRecorder() if perf is not None else None
             begin_attempt = getattr(governor, "begin_attempt", None)
             if begin_attempt is not None:
@@ -568,7 +580,8 @@ def run_analysis(
                             program, merge_options,
                             timeout_seconds=timeout_seconds,
                             pts_backend=backend, perf=attempt_perf,
-                            governor=governor, scc=use_scc, tracer=tracer,
+                            governor=governor, scc=use_scc,
+                            numbering=use_numbering, tracer=tracer,
                         )
                     heap_model: HeapModel = shared_pre.abstraction
                 elif config.heap == "alloc-type":
@@ -577,7 +590,8 @@ def run_analysis(
                     heap_model = AllocationSiteAbstraction()
                 run = _solve_main(program, config, heap_model, timeout_seconds,
                                   backend, attempt_perf, governor,
-                                  scc=use_scc, tracer=tracer)
+                                  scc=use_scc, numbering=use_numbering,
+                                  tracer=tracer)
             except (ResourceExhausted, FPGIntegrityError) as exc:
                 seconds = time.monotonic() - start
                 phase = getattr(exc, "phase", None) or "main"

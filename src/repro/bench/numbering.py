@@ -1,0 +1,323 @@
+"""A/B benchmark: hierarchy-ordered object numbering on vs off.
+
+Two questions, measured separately:
+
+* **Mask build cost** — with objects numbered by DFS pre-order over the
+  type hierarchy, a class-hierarchy filter mask is one O(1) range
+  expression instead of a subtype-test scatter over every interned
+  object.  The microbenchmark builds the full mask table for a solved
+  program's object population both ways (fresh
+  :class:`~repro.pta.bitset.RangeFilterMasks` vs fresh
+  :class:`~repro.pta.bitset.ClassFilterMasks`) and reports wall-clock
+  plus subtype tests spent — the range path must be strictly cheaper.
+* **Full-solve wall-clock** — the numbering must not slow the solve
+  down end to end on either points-to backend.  For every (profile,
+  config, backend) cell the harness runs the same solve with
+  ``numbering=False`` and ``numbering=True``, asserts the final
+  points-to facts are identical, and reports wall-clock, the numbered
+  slot count, and the mask accounting from the solve itself
+  (range builds, scatter extensions, subtype tests, mask density).
+
+Run with ``python -m repro.bench numbering``; ``--out`` writes the
+report under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.bench.reporting import format_seconds, render_table
+from repro.bench.runners import interleaved_best_of
+from repro.ir.program import Program
+from repro.pta.bitset import (
+    BACKEND_BITSET,
+    BACKEND_SET,
+    ClassFilterMasks,
+    RangeFilterMasks,
+    popcount,
+)
+from repro.pta.context import selector_for
+from repro.pta.heapmodel import AllocationSiteAbstraction
+from repro.pta.numbering import HierarchyNumbering
+from repro.pta.solver import Solver
+from repro.workloads import load_profile
+
+__all__ = [
+    "MaskBuildMeasurement",
+    "NumberingMeasurement",
+    "NumberingResult",
+    "measure_mask_build",
+    "measure_numbering_ab",
+    "run_numbering",
+    "main",
+]
+
+DEFAULT_PROFILES = ("luindex", "cycles")
+DEFAULT_CONFIGS = ("ci", "2obj")
+DEFAULT_BACKENDS = (BACKEND_BITSET, BACKEND_SET)
+DEFAULT_REPEATS = 3
+DEFAULT_SCALE = 3.0
+#: Mask building is microseconds per class; loop it enough times that
+#: ``time.monotonic`` noise stops dominating the microbenchmark.
+MASK_BUILD_ROUNDS = 50
+
+
+@dataclass
+class MaskBuildMeasurement:
+    """Full mask-table build, range path vs scatter path (identical
+    masks asserted)."""
+
+    profile: str
+    classes: int
+    objects: int
+    range_seconds: float
+    scatter_seconds: float
+    range_subtype_tests: int
+    scatter_subtype_tests: int
+    #: mean set bits per built mask (how dense the filters are)
+    density: float
+
+    @property
+    def build_speedup(self) -> float:
+        if self.range_seconds <= 0:
+            return float("inf")
+        return self.scatter_seconds / self.range_seconds
+
+
+def measure_mask_build(program: Program, profile: str,
+                       rounds: int = MASK_BUILD_ROUNDS) -> MaskBuildMeasurement:
+    """Time building every class's filter mask over the numbered object
+    population, range path vs scatter path.
+
+    The population is the numbering's reserved block (every distinct
+    allocation-site key), which is exactly what both mask classes see
+    at the start of a solve.  Masks are asserted equal pairwise — the
+    timings are only meaningful for identical output.
+    """
+    numbering = HierarchyNumbering.build(program, AllocationSiteAbstraction())
+    classes = [numbering.key_class[key] for key in numbering.slot_keys]
+    is_subtype = program.hierarchy.is_subtype_names
+    filter_classes = sorted(numbering.class_ranges)
+
+    def build_range():
+        masks = RangeFilterMasks(numbering.class_ranges, classes,
+                                 is_subtype, start=numbering.count)
+        return masks, [masks.mask_for(c) for c in filter_classes]
+
+    def build_scatter():
+        masks = ClassFilterMasks(classes, is_subtype)
+        return masks, [masks.mask_for(c) for c in filter_classes]
+
+    # warm the hierarchy's subtype memo so the scatter pays the same
+    # memoized predicate the solver does, not first-touch cache misses
+    build_scatter()
+
+    t0 = time.monotonic()
+    for _ in range(max(1, rounds)):
+        range_masks, range_table = build_range()
+    range_seconds = (time.monotonic() - t0) / max(1, rounds)
+    t0 = time.monotonic()
+    for _ in range(max(1, rounds)):
+        scatter_masks, scatter_table = build_scatter()
+    scatter_seconds = (time.monotonic() - t0) / max(1, rounds)
+
+    if range_table != scatter_table:
+        raise AssertionError(
+            f"range masks diverged from scatter masks on {profile}"
+        )
+    bits = sum(popcount(mask) for mask in range_table)
+    return MaskBuildMeasurement(
+        profile=profile,
+        classes=len(filter_classes),
+        objects=numbering.count,
+        range_seconds=range_seconds,
+        scatter_seconds=scatter_seconds,
+        range_subtype_tests=range_masks.subtype_tests,
+        scatter_subtype_tests=scatter_masks.subtype_tests,
+        density=bits / max(1, len(filter_classes)),
+    )
+
+
+@dataclass
+class NumberingMeasurement:
+    """One full-solve A/B data point (identical facts asserted)."""
+
+    profile: str
+    config: str
+    backend: str
+    facts: int
+    off_seconds: float
+    on_seconds: float
+    off_iterations: int
+    on_iterations: int
+    numbered_slots: int
+    range_builds: int
+    scatter_extensions: int
+    subtype_tests: int
+    mask_bits: int
+
+    @property
+    def speedup(self) -> float:
+        if self.on_seconds <= 0:
+            return float("inf")
+        return self.off_seconds / self.on_seconds
+
+
+def measure_numbering_ab(program: Program, profile: str, config: str,
+                         backend: str = BACKEND_BITSET,
+                         repeats: int = DEFAULT_REPEATS) -> NumberingMeasurement:
+    """Interleaved best-of-``repeats`` solve under each switch position
+    (see :func:`~repro.bench.runners.interleaved_best_of` for why the
+    schedule alternates).
+
+    Raises ``AssertionError`` when the two fixpoints disagree on total
+    points-to facts — the numbering must only relabel ids.
+    """
+
+    def make(numbering: bool):
+        return lambda: Solver(program, selector_for(config),
+                              pts_backend=backend, numbering=numbering)
+
+    ((off_seconds, off_solver),
+     (on_seconds, on_solver)) = interleaved_best_of(
+        make(False), make(True), lambda solver: solver.solve(), repeats)
+    off_facts = sum(off_solver.node_pts_count(n)
+                    for n in range(len(off_solver._pts)))
+    on_facts = sum(on_solver.node_pts_count(n)
+                   for n in range(len(on_solver._pts)))
+    if off_facts != on_facts:
+        raise AssertionError(
+            f"numbering diverged on {profile}/{config}/{backend}: "
+            f"off={off_facts} on={on_facts}"
+        )
+    stats = on_solver._filter_masks.stats()
+    return NumberingMeasurement(
+        profile=profile,
+        config=config,
+        backend=backend,
+        facts=on_facts,
+        off_seconds=off_seconds,
+        on_seconds=on_seconds,
+        off_iterations=off_solver.iterations,
+        on_iterations=on_solver.iterations,
+        numbered_slots=on_solver._numbering.count,
+        range_builds=int(stats["mask_range_builds"]),
+        scatter_extensions=int(stats["mask_extensions"]),
+        subtype_tests=int(stats["mask_subtype_tests"]),
+        mask_bits=int(stats["mask_bits"]),
+    )
+
+
+@dataclass
+class NumberingResult:
+    scale: float
+    builds: List[MaskBuildMeasurement] = field(default_factory=list)
+    measurements: List[NumberingMeasurement] = field(default_factory=list)
+
+    @property
+    def headline_build_speedup(self) -> float:
+        """The acceptance number: worst-case mask-table build speedup
+        (range path over scatter path) across profiles."""
+        return min((b.build_speedup for b in self.builds),
+                   default=float("inf"))
+
+    @property
+    def worst_solve_ratio(self) -> float:
+        """Worst full-solve speedup across all cells (>= ~1.0 means the
+        numbering never slows a solve down)."""
+        return min((m.speedup for m in self.measurements), default=0.0)
+
+    def render(self) -> str:
+        build_rows = [
+            (b.profile, b.classes, b.objects,
+             format_seconds(b.scatter_seconds),
+             format_seconds(b.range_seconds),
+             f"{b.build_speedup:.1f}x",
+             b.scatter_subtype_tests, b.range_subtype_tests,
+             f"{b.density:.1f}")
+            for b in self.builds
+        ]
+        parts = [render_table(
+            ("profile", "classes", "objects", "scatter", "range", "speedup",
+             "tests off", "tests on", "bits/mask"),
+            build_rows,
+            title=(f"Filter-mask table build (scale {self.scale:g}; "
+                   f"identical masks asserted per row)"),
+        )]
+        solve_rows = [
+            (m.profile, m.config, m.backend, m.facts,
+             format_seconds(m.off_seconds), format_seconds(m.on_seconds),
+             f"{m.speedup:.2f}x", m.numbered_slots, m.range_builds,
+             m.scatter_extensions, m.subtype_tests, m.mask_bits)
+            for m in self.measurements
+        ]
+        parts.append("")
+        parts.append(render_table(
+            ("profile", "config", "backend", "facts", "nonum", "num",
+             "speedup", "slots", "ranges", "scatters", "tests", "bits"),
+            solve_rows,
+            title=("Full-solve A/B, numbering off vs on "
+                   "(identical facts asserted per row)"),
+        ))
+        parts.append("")
+        parts.append(
+            f"headline: range masks build "
+            f"{self.headline_build_speedup:.1f}x faster than the scatter "
+            f"path (worst profile); worst full-solve ratio "
+            f"{self.worst_solve_ratio:.2f}x"
+        )
+        return "\n".join(parts)
+
+
+def run_numbering(profiles: Sequence[str] = DEFAULT_PROFILES,
+                  scale: float = DEFAULT_SCALE,
+                  configs: Sequence[str] = DEFAULT_CONFIGS,
+                  backends: Sequence[str] = DEFAULT_BACKENDS,
+                  repeats: int = DEFAULT_REPEATS) -> NumberingResult:
+    result = NumberingResult(scale=scale)
+    for profile in profiles:
+        program = load_profile(profile, scale)
+        result.builds.append(measure_mask_build(program, profile))
+        for config in configs:
+            for backend in backends:
+                result.measurements.append(
+                    measure_numbering_ab(program, profile, config,
+                                         backend, repeats)
+                )
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profiles", type=str,
+                        default=",".join(DEFAULT_PROFILES))
+    parser.add_argument("--configs", type=str,
+                        default=",".join(DEFAULT_CONFIGS))
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--backends", type=str,
+                        default=",".join(DEFAULT_BACKENDS))
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+    result = run_numbering(
+        profiles=[p for p in args.profiles.split(",") if p],
+        scale=args.scale,
+        configs=[c for c in args.configs.split(",") if c],
+        backends=[b for b in args.backends.split(",") if b],
+        repeats=args.repeats,
+    )
+    report = result.render()
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import gc
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.analysis.pipeline import (
     AnalysisRun,
@@ -14,7 +16,46 @@ from repro.analysis.pipeline import (
 from repro.ir.program import Program
 from repro.workloads import load_profile
 
-__all__ = ["ProgramUnderBench", "DEFAULT_BUDGET_SECONDS", "bench_program"]
+__all__ = ["ProgramUnderBench", "DEFAULT_BUDGET_SECONDS", "bench_program",
+           "interleaved_best_of"]
+
+
+def interleaved_best_of(make_a: Callable[[], object],
+                        make_b: Callable[[], object],
+                        run: Callable[[object], None],
+                        repeats: int = 3,
+                        ) -> Tuple[Tuple[float, object], Tuple[float, object]]:
+    """Best-of-``repeats`` A/B timing with an interleaved schedule.
+
+    Sequential best-of (all A solves, then all B) is hostage to slow
+    drift on a shared box — background load during one side's block
+    shows up as a phantom regression.  This helper alternates A and B
+    within each round and flips which goes first between rounds, so
+    drift hits both sides equally; it times with ``time.process_time``
+    (scheduler preemption excluded) after a ``gc.collect()`` so one
+    side's garbage is never collected on the other side's clock.
+
+    ``make_a``/``make_b`` build a fresh subject (untimed); ``run`` does
+    the timed work on it.  Returns ``((best_a_seconds, last_a),
+    (best_b_seconds, last_b))`` — the last subjects are returned for
+    counter inspection, which is sound only when ``run`` is
+    deterministic per side.
+    """
+    best = [float("inf"), float("inf")]
+    subjects: list = [None, None]
+    makers = (make_a, make_b)
+    for i in range(max(1, repeats)):
+        order = (0, 1) if i % 2 == 0 else (1, 0)
+        for idx in order:
+            subject = makers[idx]()
+            gc.collect()
+            t0 = time.process_time()
+            run(subject)
+            seconds = time.process_time() - t0
+            if seconds < best[idx]:
+                best[idx] = seconds
+            subjects[idx] = subject
+    return (best[0], subjects[0]), (best[1], subjects[1])
 
 #: The scaled-down analogue of the paper's 5-hour budget.  Profiles are
 #: tuned so the paper's scalability tiers reproduce at this budget:

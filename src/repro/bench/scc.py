@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.bench.reporting import format_seconds, render_table
+from repro.bench.runners import interleaved_best_of
 from repro.ir.program import Program
 from repro.pta.bitset import BACKEND_BITSET
 from repro.pta.context import selector_for
@@ -77,28 +78,22 @@ class SccMeasurement:
 def measure_scc_ab(program: Program, profile: str, config: str,
                    backend: str = BACKEND_BITSET,
                    repeats: int = DEFAULT_REPEATS) -> SccMeasurement:
-    """Best-of-``repeats`` solve under each switch position.
+    """Interleaved best-of-``repeats`` solve under each switch position
+    (see :func:`~repro.bench.runners.interleaved_best_of` for why the
+    schedule alternates).
 
     Raises ``AssertionError`` when the two fixpoints disagree on total
     points-to facts — the timings are only meaningful for identical
     results.
     """
 
-    def best_of(scc: bool):
-        best_seconds = float("inf")
-        best_solver: Optional[Solver] = None
-        for _ in range(max(1, repeats)):
-            solver = Solver(program, selector_for(config),
-                            pts_backend=backend, scc=scc)
-            t0 = time.monotonic()
-            solver.solve()
-            seconds = time.monotonic() - t0
-            if seconds < best_seconds:
-                best_seconds, best_solver = seconds, solver
-        return best_seconds, best_solver
+    def make(scc: bool):
+        return lambda: Solver(program, selector_for(config),
+                              pts_backend=backend, scc=scc)
 
-    off_seconds, off_solver = best_of(False)
-    on_seconds, on_solver = best_of(True)
+    ((off_seconds, off_solver),
+     (on_seconds, on_solver)) = interleaved_best_of(
+        make(False), make(True), lambda solver: solver.solve(), repeats)
     off_facts = sum(off_solver.node_pts_count(n)
                     for n in range(len(off_solver._pts)))
     on_facts = sum(on_solver.node_pts_count(n)

@@ -73,13 +73,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if sinks:
         tracer = obs.Tracer(sinks=tuple(sinks))
     scc = None if args.scc is None else (args.scc == "on")
+    numbering = None if args.numbering is None else (args.numbering == "on")
     try:
         with plan_scope:
             run = run_analysis(program, args.analysis,
                                timeout_seconds=args.budget,
                                merge_options=merge_options,
                                governor=governor, degrade=degrade, scc=scc,
-                               tracer=tracer)
+                               numbering=numbering, tracer=tracer)
     except Exception as exc:  # noqa: BLE001 - classified, not a traceback
         from repro.analysis.pipeline import classify_failure
 
@@ -280,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--scc", choices=("on", "off"), default=None,
                          help="constraint-graph condensation (default: "
                               "@scc/@noscc suffix, then $REPRO_SCC, then on)")
+    analyze.add_argument("--numbering", choices=("on", "off"), default=None,
+                         help="hierarchy-ordered object numbering (default: "
+                              "@num/@nonum suffix, then $REPRO_NUMBERING, "
+                              "then on)")
     analyze.add_argument("--trace", default=None, metavar="FILE",
                          help="write a chrome://tracing / Perfetto flame "
                               "chart of the run to FILE")

@@ -152,6 +152,21 @@ class MergeResult:
             histogram[len(cls)] = histogram.get(len(cls), 0) + 1
         return histogram
 
+    def equivalence_classes(self) -> Dict[int, List[int]]:
+        """representative → sorted members, singletons included.
+
+        The representative is ``mom``'s image of the members (each
+        equivalence class is single-type by Definition 2.1, so this is
+        the unit the hierarchy-ordered numbering assigns one id slot
+        per heap context to — see :mod:`repro.pta.numbering`).
+        """
+        grouped: Dict[int, List[int]] = {}
+        for obj, representative in self.mom.items():
+            grouped.setdefault(representative, []).append(obj)
+        for members in grouped.values():
+            members.sort()
+        return grouped
+
 
 def merge_type_consistent_objects(
     fpg: FieldPointsToGraph,

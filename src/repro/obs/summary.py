@@ -3,8 +3,11 @@
 Collapses an event stream (typed events, a JSONL log, or an exported
 Chrome trace) into the report a human wants before opening a flame
 chart: wall-clock covered, per-span-name aggregates (count / total /
-max), the degradation-ladder attempt table, and instant-event counts
-(faults fired, governor exhaustions, stride samples).
+max), the degradation-ladder attempt table, instant-event counts
+(faults fired, governor exhaustions, stride samples), and the
+filter-mask build accounting each solve emits as a ``masks`` instant
+(scatter extensions vs O(1) range builds, subtype tests, mask density —
+see :mod:`repro.pta.bitset`).
 """
 
 from __future__ import annotations
@@ -30,6 +33,8 @@ def summarize_events(events: Iterable[Event]) -> str:
     spans: Dict[str, List[float]] = {}
     attempts: List[Tuple[Dict[str, object], float]] = []
     instants: Dict[str, int] = {}
+    #: summed numeric attrs of every ``masks`` instant (one per solve)
+    mask_totals: Dict[str, float] = {}
     t_min: Optional[float] = None
     t_max: Optional[float] = None
     for event in events:
@@ -51,6 +56,10 @@ def summarize_events(events: Iterable[Event]) -> str:
                 attempts.append((attrs, event.duration))
         elif isinstance(event, Instant):
             instants[event.name] = instants.get(event.name, 0) + 1
+            if event.name == "masks":
+                for key, value in event.attrs.items():
+                    if isinstance(value, (int, float)):
+                        mask_totals[key] = mask_totals.get(key, 0) + value
 
     lines: List[str] = []
     covered = (t_max - t_min) if t_min is not None and t_max is not None else 0.0
@@ -80,6 +89,12 @@ def summarize_events(events: Iterable[Event]) -> str:
         lines.append("instant events:")
         for name in sorted(instants):
             lines.append(f"  {name} x{instants[name]}")
+    if mask_totals:
+        lines.append("")
+        lines.append(f"filter masks ({instants.get('masks', 0)} solves):")
+        for key in sorted(mask_totals):
+            value = mask_totals[key]
+            lines.append(f"  {key} = {int(value) if value == int(value) else value}")
     return "\n".join(lines)
 
 

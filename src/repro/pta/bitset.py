@@ -31,7 +31,8 @@ representation side by side for A/B validation
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterable, Iterator, List
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Tuple
 
 __all__ = [
     "BACKEND_BITSET",
@@ -45,6 +46,7 @@ __all__ = [
     "bits_to_list",
     "bits_from_ids",
     "ClassFilterMasks",
+    "RangeFilterMasks",
 ]
 
 # ----------------------------------------------------------------------
@@ -170,29 +172,46 @@ class ClassFilterMasks:
     ``(class, filter class)`` pair by the caller-supplied predicate.
 
     The instance observes the solver's append-only ``object_classes``
-    list; it never copies it.
+    list; it never copies it.  ``start`` floors every mask's watermark:
+    ids below it are considered covered already (0 by default — the
+    range-mask fast path passes the numbered-slot count so the scatter
+    only ever runs over mid-solve overflow ids).
+
+    Build cost is accounted per extension (``subtype_tests``,
+    ``build_seconds``) so the perf recorder and ``trace summarize`` can
+    attribute mask time instead of it hiding inside the solve loop.
+
+    Pickles drop the mask/watermark caches (pure derived state) so
+    process-pool round-trips ship a lean payload and rebuild lazily.
     """
 
-    __slots__ = ("_object_classes", "_is_subtype", "_masks", "_upto",
-                 "extensions")
+    __slots__ = ("_object_classes", "_is_subtype", "_start", "_masks",
+                 "_upto", "extensions", "subtype_tests", "build_seconds")
 
     def __init__(self, object_classes: List[str],
-                 is_subtype: Callable[[str, str], bool]) -> None:
+                 is_subtype: Callable[[str, str], bool],
+                 start: int = 0) -> None:
         self._object_classes = object_classes
         self._is_subtype = is_subtype
+        self._start = start
         self._masks: Dict[str, int] = {}
         self._upto: Dict[str, int] = {}
         #: How many watermark extensions ran (cache-behaviour statistic).
         self.extensions = 0
+        #: Subtype tests spent building/extending masks (build cost).
+        self.subtype_tests = 0
+        #: Wall-clock seconds spent in extension loops.
+        self.build_seconds = 0.0
 
     def mask_for(self, filter_class: str) -> int:
         """The (complete, as of now) subtype mask for ``filter_class``."""
         masks = self._masks
         mask = masks.get(filter_class, 0)
-        upto = self._upto.get(filter_class, 0)
+        upto = self._upto.get(filter_class, self._start)
         classes = self._object_classes
         n = len(classes)
         if upto < n:
+            began = time.perf_counter()
             is_subtype = self._is_subtype
             for obj in range(upto, n):
                 if is_subtype(classes[obj], filter_class):
@@ -200,16 +219,124 @@ class ClassFilterMasks:
             masks[filter_class] = mask
             self._upto[filter_class] = n
             self.extensions += 1
+            self.subtype_tests += n - upto
+            self.build_seconds += time.perf_counter() - began
         return mask
 
     def __len__(self) -> int:
         """Number of distinct filter classes with a materialized mask."""
         return len(self._masks)
 
-    def stats(self) -> Dict[str, int]:
+    def __getstate__(self) -> Tuple[List[str], Callable[[str, str], bool], int]:
+        return (self._object_classes, self._is_subtype, self._start)
+
+    def __setstate__(self, state) -> None:
+        object_classes, is_subtype, start = state
+        self.__init__(object_classes, is_subtype, start)
+
+    def stats(self) -> Dict[str, float]:
         """Mask-cache statistics for the perf recorder."""
         return {
             "masks": len(self._masks),
             "mask_extensions": self.extensions,
             "mask_bits": sum(popcount(m) for m in self._masks.values()),
+            "mask_subtype_tests": self.subtype_tests,
+            "mask_range_builds": 0,
+        }
+
+
+class RangeFilterMasks:
+    """Filter masks answered from hierarchy-ordered id ranges.
+
+    With objects numbered by DFS pre-order over the type hierarchy
+    (:class:`repro.pta.numbering.HierarchyNumbering`), the subtype set
+    of a class ``C`` occupies one contiguous id range ``[lo, hi)``, so
+    its mask is ``(1 << hi) - (1 << lo)`` — built in O(1) with **zero**
+    subtype tests.  Objects materialized mid-solve (context-sensitive
+    heap clones, classes outside the numbering) intern above ``start``
+    and are covered by the same lazy watermark scatter
+    :class:`ClassFilterMasks` uses, restricted to ids ``>= start``.
+
+    The hot path (mask already complete) costs exactly what
+    :class:`ClassFilterMasks` costs: two dict probes and a length
+    check.  The instance observes the solver's append-only
+    ``object_classes`` list; it never copies it.
+
+    Pickles drop the mask/watermark caches, like
+    :class:`ClassFilterMasks`.
+    """
+
+    __slots__ = ("_ranges", "_object_classes", "_is_subtype", "_start",
+                 "_masks", "_upto", "extensions", "subtype_tests",
+                 "range_builds", "build_seconds")
+
+    def __init__(self, class_ranges: Mapping[str, Tuple[int, int]],
+                 object_classes: List[str],
+                 is_subtype: Callable[[str, str], bool],
+                 start: int) -> None:
+        self._ranges = class_ranges
+        self._object_classes = object_classes
+        self._is_subtype = is_subtype
+        self._start = start
+        self._masks: Dict[str, int] = {}
+        self._upto: Dict[str, int] = {}
+        self.extensions = 0
+        self.subtype_tests = 0
+        #: Masks answered from a range (the zero-subtype-test builds).
+        self.range_builds = 0
+        self.build_seconds = 0.0
+
+    def mask_for(self, filter_class: str) -> int:
+        """The (complete, as of now) subtype mask for ``filter_class``."""
+        mask = self._masks.get(filter_class)
+        upto = self._upto.get(filter_class)
+        classes = self._object_classes
+        n = len(classes)
+        if upto == n:
+            return mask
+        began = time.perf_counter()
+        if upto is None:
+            lo_hi = self._ranges.get(filter_class)
+            if lo_hi is None:
+                # Class outside the numbering (or undeclared): no
+                # numbered object can satisfy the filter, by the same
+                # convention the scatter path uses.
+                mask = 0
+            else:
+                lo, hi = lo_hi
+                mask = (1 << hi) - (1 << lo)
+            self.range_builds += 1
+            upto = self._start
+        if upto < n:
+            is_subtype = self._is_subtype
+            for obj in range(upto, n):
+                if is_subtype(classes[obj], filter_class):
+                    mask |= 1 << obj
+            self.extensions += 1
+            self.subtype_tests += n - upto
+        self._masks[filter_class] = mask
+        self._upto[filter_class] = n
+        self.build_seconds += time.perf_counter() - began
+        return mask
+
+    def __len__(self) -> int:
+        """Number of distinct filter classes with a materialized mask."""
+        return len(self._masks)
+
+    def __getstate__(self):
+        return (self._ranges, self._object_classes, self._is_subtype,
+                self._start)
+
+    def __setstate__(self, state) -> None:
+        ranges, object_classes, is_subtype, start = state
+        self.__init__(ranges, object_classes, is_subtype, start)
+
+    def stats(self) -> Dict[str, float]:
+        """Mask-cache statistics for the perf recorder."""
+        return {
+            "masks": len(self._masks),
+            "mask_extensions": self.extensions,
+            "mask_bits": sum(popcount(m) for m in self._masks.values()),
+            "mask_subtype_tests": self.subtype_tests,
+            "mask_range_builds": self.range_builds,
         }

@@ -1,0 +1,205 @@
+"""Hierarchy-ordered object numbering for the points-to solver.
+
+The solver interns abstract objects to integer ids.  Historically ids
+were handed out in discovery order, so a class-hierarchy filter mask
+(``mask(T)`` has bit ``i`` set ⇔ ``class_of(i) <: T``, see
+:mod:`repro.pta.bitset`) is a sparse scatter that costs one subtype
+test per (object, filter class) pair to build.  Toussi & Khademzadeh's
+class-hierarchy bit-vector encoding (PAPERS.md, arXiv 1108.2683) shows
+the better numbering: walk the single-inheritance :class:`TypeHierarchy
+<repro.ir.types.TypeHierarchy>` in DFS **pre-order** and assign ids
+class by class.  In a pre-order walk every class's subtree is a
+contiguous block, so the (reflexive, transitive) subtypes of any class
+``C`` occupy one contiguous id range ``[lo, hi)`` — and ``mask(C)``
+becomes the *range mask* ``(1 << hi) - (1 << lo)``, built with zero
+subtype tests (:class:`repro.pta.bitset.RangeFilterMasks`).
+
+:class:`HierarchyNumbering` precomputes that assignment from a program
+and a heap model before the solve starts:
+
+* the unit being numbered is the heap model's **site key** — for the
+  MAHJONG abstraction that is the representative of a merged-object-map
+  equivalence class (:mod:`repro.core.merging`), which is safe to range
+  because type-consistent classes are single-type by construction
+  (Algorithm 1 partitions by type before merging anything);
+* only the *context-insensitive* incarnation of each key (empty heap
+  context) receives a pre-assigned slot.  Context-sensitive heap clones
+  and anything else materialized mid-solve intern after the numbered
+  block (ids ``>= count``) and are covered by the scatter fallback of
+  :class:`~repro.pta.bitset.RangeFilterMasks`.
+
+A slot is *reserved*, not materialized: the solver only marks a slot
+live when the allocation is actually reached, so observable results
+(object counts, iteration of live objects) are independent of the
+numbering — held by the differential tests in
+``tests/test_numbering.py``.
+
+This module also owns the numbering off-switch registry
+(``$REPRO_NUMBERING`` / the ``@num``/``@nonum`` configuration
+suffixes), mirroring :mod:`repro.pta.scc`'s ``$REPRO_SCC`` registry, so
+the discovery-order path stays selectable and permanently tested.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.program import Program
+from repro.ir.types import OBJECT_CLASS_NAME
+from repro.pta.heapmodel import HeapModel
+
+__all__ = [
+    "NUMBERING_ENV_VAR",
+    "NUMBERING_ON",
+    "NUMBERING_OFF",
+    "default_numbering",
+    "set_default_numbering",
+    "resolve_numbering",
+    "HierarchyNumbering",
+]
+
+#: Environment override consulted by :func:`resolve_numbering` — lets CI
+#: run the whole suite with discovery-order ids without touching call
+#: sites, exactly like ``REPRO_SCC`` does for condensation.
+NUMBERING_ENV_VAR = "REPRO_NUMBERING"
+
+NUMBERING_ON = "on"
+NUMBERING_OFF = "off"
+
+#: Accepted spellings for each switch position.
+_TRUTHY = frozenset({NUMBERING_ON, "1", "true", "yes", "num"})
+_FALSY = frozenset({NUMBERING_OFF, "0", "false", "no", "nonum"})
+
+_default_numbering = True
+
+
+def default_numbering() -> bool:
+    """The process-wide default for hierarchy-ordered numbering."""
+    return _default_numbering
+
+
+def set_default_numbering(enabled: bool) -> bool:
+    """Set the process-wide default; returns the previous value."""
+    global _default_numbering
+    previous = _default_numbering
+    _default_numbering = bool(enabled)
+    return previous
+
+
+def resolve_numbering(value: Optional[object] = None) -> bool:
+    """Resolve an optional on/off request to a concrete bool.
+
+    Resolution order: explicit ``value`` (bool or ``"on"``/``"off"``
+    style string) → ``$REPRO_NUMBERING`` → the process default (on).
+    Unknown strings raise eagerly so a configuration typo fails before
+    a long solve.
+    """
+    if value is None:
+        env = os.environ.get(NUMBERING_ENV_VAR)
+        if env is None or not env.strip():
+            return _default_numbering
+        value = env
+    if isinstance(value, bool):
+        return value
+    name = str(value).strip().lower()
+    if name in _TRUTHY:
+        return True
+    if name in _FALSY:
+        return False
+    raise ValueError(
+        f"unknown numbering setting {value!r}; known: "
+        f"{NUMBERING_ON}/{NUMBERING_OFF} (or 1/0, true/false, num/nonum)"
+    )
+
+
+class HierarchyNumbering:
+    """A pre-order id assignment for one (program, heap model) pair.
+
+    Attributes:
+
+    * ``slots`` — site key → reserved id, for every distinct key of the
+      program's allocation sites;
+    * ``slot_keys`` — the inverse, as a list indexed by slot id;
+    * ``key_class`` / ``first_site`` — per key, the allocated class and
+      the lowest allocation site carrying it (prefill provenance);
+    * ``count`` — number of reserved slots (ids ``>= count`` belong to
+      the mid-solve overflow space);
+    * ``class_ranges`` — class name → ``(lo, hi)`` with the invariant
+      that the reserved slots of all reflexive-transitive subtypes of
+      the class are exactly ``range(lo, hi)``.
+
+    Keys whose class is not declared in the hierarchy get no slot (they
+    cannot be ranged) and fall through to the overflow space.
+    """
+
+    __slots__ = ("slots", "slot_keys", "key_class", "first_site", "count",
+                 "class_ranges")
+
+    def __init__(self, slots: Dict[object, int], slot_keys: List[object],
+                 key_class: Dict[object, str], first_site: Dict[object, int],
+                 count: int, class_ranges: Dict[str, Tuple[int, int]]) -> None:
+        self.slots = slots
+        self.slot_keys = slot_keys
+        self.key_class = key_class
+        self.first_site = first_site
+        self.count = count
+        self.class_ranges = class_ranges
+
+    @classmethod
+    def build(cls, program: Program,
+              heap_model: HeapModel) -> "HierarchyNumbering":
+        """Number the distinct site keys of ``program`` under
+        ``heap_model`` by hierarchy pre-order.
+
+        Keys are collected in ascending allocation-site order (the
+        first site to produce a key defines its class — sound for every
+        shipped heap model: allocation-site keys are per-site,
+        allocation-type keys embed the class, and MAHJONG equivalence
+        classes are single-type), then laid out class by class along
+        ``TypeHierarchy.subtypes(Object)``, whose DFS pre-order makes
+        every subtree contiguous.
+        """
+        hierarchy = program.hierarchy
+        key_class: Dict[object, str] = {}
+        first_site: Dict[object, int] = {}
+        per_class: Dict[str, List[object]] = {}
+        for site, stmt in sorted(program.alloc_sites().items()):
+            key = heap_model.site_key(site, stmt.class_name)
+            if key in key_class:
+                continue
+            key_class[key] = stmt.class_name
+            first_site[key] = site
+            per_class.setdefault(stmt.class_name, []).append(key)
+
+        order = hierarchy.subtypes(hierarchy.get(OBJECT_CLASS_NAME))
+        slots: Dict[object, int] = {}
+        slot_keys: List[object] = []
+        lo: Dict[str, int] = {}
+        subtree: Dict[str, int] = {}
+        for klass in order:
+            lo[klass.name] = len(slot_keys)
+            own = per_class.get(klass.name, ())
+            subtree[klass.name] = len(own)
+            for key in own:
+                slots[key] = len(slot_keys)
+                slot_keys.append(key)
+        # Pre-order lists every parent before its descendants, so a
+        # reverse sweep accumulates subtree slot totals bottom-up.
+        for klass in reversed(order):
+            if klass.superclass_name is not None:
+                subtree[klass.superclass_name] += subtree[klass.name]
+        class_ranges = {
+            name: (start, start + subtree[name]) for name, start in lo.items()
+        }
+        return cls(slots, slot_keys, key_class, first_site,
+                   len(slot_keys), class_ranges)
+
+    def stats(self) -> Dict[str, int]:
+        """Numbering-shape statistics for benchmarks and the recorder."""
+        nonempty = sum(1 for lo, hi in self.class_ranges.values() if hi > lo)
+        return {
+            "numbered_slots": self.count,
+            "numbered_classes": nonempty,
+            "ranged_classes": len(self.class_ranges),
+        }

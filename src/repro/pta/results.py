@@ -40,6 +40,7 @@ class PointsToResult:
         self.heap_model_name: str = solver.heap_model.name
         self.pts_backend: str = solver.pts_backend
         self.scc: bool = solver.use_scc
+        self.numbering: bool = solver.use_numbering
         self.solve_seconds: float = solver.solve_seconds
         self.iterations: int = solver.iterations
 
@@ -48,8 +49,15 @@ class PointsToResult:
     # ------------------------------------------------------------------
     @property
     def object_count(self) -> int:
-        """Number of abstract objects (with heap contexts) created."""
-        return len(self._solver._object_site_key)
+        """Number of abstract objects (with heap contexts) created.
+
+        Counts *materialized* objects only: with hierarchy-ordered
+        numbering the solver reserves an id slot per potential object
+        up front, and slots whose allocation was never reached do not
+        exist observationally — so this count is identical with the
+        numbering on or off.
+        """
+        return len(self._solver._object_ids)
 
     def object_class(self, obj: int) -> str:
         return self._solver._object_class[obj]
@@ -71,7 +79,9 @@ class PointsToResult:
         )
 
     def objects(self) -> Iterator[int]:
-        return iter(range(self.object_count))
+        """Materialized object ids, ascending (not necessarily dense —
+        hierarchy-ordered numbering leaves unreached slots as gaps)."""
+        return iter(sorted(self._solver._live_objects))
 
     # ------------------------------------------------------------------
     # Variable points-to
@@ -209,6 +219,7 @@ class PointsToResult:
             "heap_model": self.heap_model_name,
             "pts_backend": self.pts_backend,
             "scc": self.scc,
+            "numbering": self.numbering,
             "solve_seconds": round(self.solve_seconds, 4),
             "iterations": self.iterations,
             "abstract_objects": self.object_count,

@@ -46,6 +46,8 @@ __all__ = [
     "set_default_scc",
     "resolve_scc",
     "condense_copy_graph",
+    "AdaptiveGate",
+    "DOMINANCE_FACTOR",
 ]
 
 #: Environment override consulted by :func:`resolve_scc` — lets CI run
@@ -100,6 +102,65 @@ def resolve_scc(value: Optional[object] = None) -> bool:
         f"unknown SCC setting {value!r}; known: "
         f"{SCC_ON}/{SCC_OFF} (or 1/0, true/false, scc/noscc)"
     )
+
+
+#: A stride window is *creation-dominated* when it interned at least
+#: ``window_pops / DOMINANCE_FACTOR`` fresh nodes: the constraint graph
+#: is still growing faster than facts settle, so any ranking computed
+#: now is stale by the time the next window pops against it.
+DOMINANCE_FACTOR = 16
+
+
+class AdaptiveGate:
+    """Per-stride-window statistics deciding whether a condensation
+    pass is worth running.
+
+    The solver calls :meth:`reset_baseline` once the static seed graph
+    is built, then :meth:`creation_dominated` exactly once per stride
+    gate with the window's pop count and the current node total.  The
+    verdict combines two views of the fresh-node creation rate:
+
+    * the **window** just closed — creation bursts defer the next pass
+      even late in a solve;
+    * the **cumulative** rate since the baseline — deep-context
+      workloads (the luindex/2obj regression of EXPERIMENTS.md) intern
+      fresh context/heap nodes throughout, so any ranking is stale on
+      arrival for the *entire* solve, even in the occasional window
+      where the burst pauses.  A graph that has genuinely settled
+      (creation stopped while pops continue) drives the cumulative
+      ratio down and re-opens the gate.
+
+    Skipping a pass only defers an optimization — collapse never
+    affects the fixpoint — so correctness is untouched.
+    """
+
+    __slots__ = ("dominance_factor", "_baseline_nodes", "_nodes_at_gate",
+                 "_pops")
+
+    def __init__(self, dominance_factor: int = DOMINANCE_FACTOR) -> None:
+        self.dominance_factor = dominance_factor
+        self._baseline_nodes = 0
+        self._nodes_at_gate = 0
+        self._pops = 0
+
+    def reset_baseline(self, nodes: int) -> None:
+        """Start counting from ``nodes`` — called after static seeding
+        so construction-time interning never counts as mid-solve
+        creation."""
+        self._baseline_nodes = nodes
+        self._nodes_at_gate = nodes
+        self._pops = 0
+
+    def creation_dominated(self, window_pops: int, nodes: int) -> bool:
+        """Record the window boundary; True when fresh-node creation
+        dominated either the window just closed or the solve so far."""
+        created = nodes - self._nodes_at_gate
+        self._nodes_at_gate = nodes
+        self._pops += window_pops
+        factor = self.dominance_factor
+        if created * factor >= window_pops:
+            return True
+        return (nodes - self._baseline_nodes) * factor >= self._pops
 
 
 def condense_copy_graph(

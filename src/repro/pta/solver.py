@@ -42,12 +42,31 @@ Design:
   union-find over pointer nodes collapses strongly connected components
   of unfiltered copy edges into single representatives
   (:mod:`repro.pta.scc`), detection piggybacking on the existing
-  1024-pop stride.  The worklist becomes *wave-scheduled* — pending
-  deltas are merged per node and popped in the condensation's
-  topological order, so facts flow source-to-sink instead of churning
-  FIFO-style around cycles.  Node-id-facing accessors resolve through
-  ``find()``, so results, clients, and the MAHJONG automata stages see
-  unchanged semantics.
+  1024-pop stride.  Scheduling is *adaptive*: an up-front ranking pass
+  decides the mode.  When it finds cycles the worklist becomes
+  *wave-scheduled* — pending deltas are merged per node and popped in
+  the condensation's topological order, so facts flow source-to-sink
+  instead of churning FIFO-style around cycles.  When the static graph
+  is acyclic the solver stays on the cheap FIFO loop (seeded in the
+  ranking's topological order) and only *probes* for cycles at stride
+  gates whose window was not dominated by fresh-node creation
+  (:class:`repro.pta.scc.AdaptiveGate`); a probe that finds cycles
+  promotes the solve to wave mode.  This keeps ``scc=on`` from losing
+  to ``scc=off`` on deep-context acyclic workloads, where the wave
+  heap bookkeeping used to cost more than its pop savings.
+  Node-id-facing accessors resolve through ``find()``, so results,
+  clients, and the MAHJONG automata stages see unchanged semantics.
+
+* **Hierarchy-ordered object numbering** (on by default;
+  ``REPRO_NUMBERING=off`` or the ``@nonum`` config suffix restores
+  discovery-order ids): object ids are pre-assigned by DFS pre-order
+  over the type hierarchy (:mod:`repro.pta.numbering`), so every
+  class's subtype set is one contiguous id range and cast-filter masks
+  are O(1) range masks (:class:`~repro.pta.bitset.RangeFilterMasks`)
+  instead of per-object scatters.  Context-sensitive heap clones and
+  other mid-solve objects intern above the numbered block and fall
+  back to the watermark scatter.  The numbering only relabels ids —
+  observable results are held identical by differential tests.
 
 The solver is deliberately flow-insensitive (statement order in a method
 body is irrelevant), matching the paper's setting.
@@ -64,7 +83,8 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro import faults as _faults
 from repro.ir.program import Method, Program
-from repro.pta.scc import condense_copy_graph, resolve_scc
+from repro.pta.numbering import HierarchyNumbering, resolve_numbering
+from repro.pta.scc import AdaptiveGate, condense_copy_graph, resolve_scc
 from repro.resources import TimeBudgetExceeded
 from repro.ir.statements import (
     Cast,
@@ -84,6 +104,7 @@ from repro.perf import PerfRecorder
 from repro.pta.bitset import (
     BACKEND_BITSET,
     ClassFilterMasks,
+    RangeFilterMasks,
     bits_to_list,
     popcount,
     resolve_backend,
@@ -223,6 +244,12 @@ class Solver:
     (``None`` resolves through :func:`repro.pta.scc.resolve_scc`:
     explicit value → ``$REPRO_SCC`` → on).
 
+    ``numbering`` switches hierarchy-ordered object numbering and range
+    filter masks (``None`` resolves through
+    :func:`repro.pta.numbering.resolve_numbering`: explicit value →
+    ``$REPRO_NUMBERING`` → on).  The numbering only relabels object
+    ids; every observable result is independent of the switch.
+
     ``tracer`` optionally records the solve as spans
     (:class:`repro.obs.Tracer`): one ``solve`` span for the fixpoint,
     a contiguous chain of ``stride`` window spans rotated at the check
@@ -244,6 +271,7 @@ class Solver:
         phase_label: str = "main",
         scc: Optional[object] = None,
         tracer=None,
+        numbering: Optional[object] = None,
     ) -> None:
         if program.entry is None:
             raise ValueError("program has no entry method")
@@ -256,6 +284,7 @@ class Solver:
         self.pts_backend = resolve_backend(pts_backend)
         self._use_bits = self.pts_backend == BACKEND_BITSET
         self.use_scc = resolve_scc(scc)
+        self.use_numbering = resolve_numbering(numbering)
         self.perf = perf
         self._type_elements = wants_type_elements(self.selector)
         self._ci = isinstance(self.selector, ContextInsensitive)
@@ -274,11 +303,53 @@ class Solver:
         self._object_class: List[str] = []
         self._object_ctx_elem: List[object] = []
         self._object_alloc_sites: List[Set[int]] = []  # provenance
+        # Materialized ids in intern order: with numbering on, reserved
+        # slots exist in the parallel tables above before (or without)
+        # ever being allocated, so "how many objects are there" is
+        # ``len(_object_ids)`` and "which" is this list — not table
+        # length / ``range``.
+        self._live_objects: List[int] = []
 
-        # Cast-filter masks over object ids (bitset backend only).
-        self._filter_masks = ClassFilterMasks(
-            self._object_class, self._is_subtype_name
-        )
+        # Hierarchy-ordered numbering: reserve one id slot per distinct
+        # context-insensitive site key, laid out so each class's subtype
+        # set is a contiguous range (see repro.pta.numbering).  The
+        # parallel tables are prefilled for the numbered block; a slot
+        # only becomes live when its allocation is reached.
+        self._numbering: Optional[HierarchyNumbering] = None
+        self._numbering_slots: Optional[Dict[object, int]] = None
+        if self.use_numbering:
+            numbered = HierarchyNumbering.build(program, self.heap_model)
+            self._numbering = numbered
+            self._numbering_slots = numbered.slots
+            key_class = numbered.key_class
+            first_site = numbered.first_site
+            for key in numbered.slot_keys:
+                class_name = key_class[key]
+                self._object_site_key.append(key)
+                self._object_heap_ctx.append(EMPTY_CONTEXT)
+                self._object_class.append(class_name)
+                if self._type_elements:
+                    elem: object = self.heap_model.containing_class(
+                        first_site[key], class_name, program
+                    )
+                else:
+                    elem = key
+                self._object_ctx_elem.append(elem)
+                self._object_alloc_sites.append(set())
+
+        # Cast-filter masks over object ids (bitset backend only): O(1)
+        # range masks over the numbered block with a scatter fallback
+        # for overflow ids, or the pure watermark scatter when the
+        # numbering is off.
+        if self._numbering is not None:
+            self._filter_masks = RangeFilterMasks(
+                self._numbering.class_ranges, self._object_class,
+                self._is_subtype_name, start=self._numbering.count,
+            )
+        else:
+            self._filter_masks = ClassFilterMasks(
+                self._object_class, self._is_subtype_name
+            )
 
         # nodes: key -> id ; pts / succs indexed by id.  ``_pts[i]`` is
         # an int bit-vector (bitset backend) or a set[int] (set backend).
@@ -344,9 +415,24 @@ class Solver:
         self._copy_edges_at_last_pass = 0
         self._collapse_backoff = 1
         self._gates_until_pass = 1
+        # Adaptive mode selection: every solve starts on the FIFO push;
+        # the up-front ranking pass (or a later FIFO-mode probe that
+        # finds cycles) switches to wave scheduling via
+        # ``_enter_wave_mode``.  With SCC off neither ever happens.
+        # The bits FIFO push under SCC coalesces pushes landing on an
+        # already-queued node into its entry (``_fifo_queued``, a flat
+        # array over node ids — grown in ``_node`` in lockstep with
+        # ``_pts``) — the same merging the wave pending dict performs,
+        # kept in FIFO order — which is what lets the FIFO SCC mode
+        # beat plain FIFO on acyclic workloads instead of merely
+        # matching it.
+        self._wave = False
+        self._promote = False
+        self._adaptive = AdaptiveGate() if self.use_scc else None
+        self._fifo_queued: List[Optional[list]] = []
         if self.use_scc:
-            self._push = (self._push_wave_bits if self._use_bits
-                          else self._push_wave_sets)
+            self._push = (self._push_fifo_coalesce if self._use_bits
+                          else self._push_fifo_coalesce_sets)
         else:
             self._push = self._push_fifo
 
@@ -363,6 +449,8 @@ class Solver:
             "scc_nodes_merged": 0,
             "scc_edges_dropped": 0,
             "propagations_saved": 0,
+            "scc_passes_deferred": 0,
+            "scc_promotions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -393,7 +481,7 @@ class Solver:
         if tracer is not None:
             solve_span = tracer.begin(
                 "solve", phase=self.phase_label, backend=self.pts_backend,
-                scc=self.use_scc,
+                scc=self.use_scc, numbering=self.use_numbering,
             )
         scope = (self.governor.ensure_phase(self.phase_label)
                  if self.governor is not None else nullcontext())
@@ -403,29 +491,86 @@ class Solver:
                 if tracer is not None:
                     self._begin_window()
                 if self.use_scc:
-                    # rank the statically-known topology (and collapse
-                    # any cycles already present) before the first pop —
-                    # waiting for the first stride gate would leave the
-                    # whole first window FIFO-ordered
+                    # Rank the statically-known topology (and collapse
+                    # any cycles already present) before the first pop;
+                    # the pass doubles as the mode decision.  Cycles →
+                    # wave scheduling pays for itself.  Acyclic → stay
+                    # on the FIFO loop (drained in the ranking's
+                    # topological order) and probe at stride gates.
                     self._collapse_cycles()
-                    if self._use_bits:
-                        self._run_bits_wave(deadline)
+                    self._adaptive.reset_baseline(len(self._pts))
+                    if self.counters["sccs_collapsed"]:
+                        self._enter_wave_mode()
                     else:
-                        self._run_sets_wave(deadline)
-                elif self._use_bits:
-                    self._run_bits(deadline)
-                else:
-                    self._run_sets(deadline)
+                        self._sort_worklist_topologically()
+                while True:
+                    if self._wave:
+                        if self._use_bits:
+                            self._run_bits_wave(deadline)
+                        else:
+                            self._run_sets_wave(deadline)
+                        break
+                    if self._use_bits:
+                        if self.use_scc:
+                            self._run_bits_coalesce(deadline)
+                        else:
+                            self._run_bits(deadline)
+                    elif self.use_scc:
+                        self._run_sets_coalesce(deadline)
+                    else:
+                        self._run_sets(deadline)
+                    if not self._promote:
+                        break
+                    # A FIFO-mode probe found cycles: switch the
+                    # remaining worklist to wave order, collapse, and
+                    # resume in the wave loop.
+                    self._promote = False
+                    self._enter_wave_mode()
+                    self._collapse_cycles()
         finally:
             self.solve_seconds = time.monotonic() - start
             self._record_perf()
             if tracer is not None:
+                tracer.instant("masks", **self._filter_masks.stats())
                 self._close_window(
-                    len(self._pending) if self.use_scc
+                    len(self._pending) if self._wave
                     else len(self._worklist))
                 tracer.end(solve_span, iterations=self.iterations,
                            seconds=round(self.solve_seconds, 6))
         return PointsToResult(self)
+
+    def _enter_wave_mode(self) -> None:
+        """Switch from FIFO scheduling to condensation-ordered waves.
+
+        Rebinds the push to the wave variant and drains the FIFO deque
+        into per-node pending deltas (resolving each node through
+        ``find()``, so entries queued against nodes that were merged
+        into a representative land on the representative).  Safe at any
+        point: pending merging only coalesces worklist entries a FIFO
+        solver would have popped separately.
+        """
+        self._wave = True
+        self._push = (self._push_wave_bits if self._use_bits
+                      else self._push_wave_sets)
+        worklist = self._worklist
+        push = self._push
+        while worklist:
+            node, delta = worklist.popleft()
+            if delta:
+                push(node, delta)
+        self._fifo_queued.clear()
+
+    def _sort_worklist_topologically(self) -> None:
+        """Reorder the seed worklist by the up-front ranking (stable, so
+        equal ranks keep push order).  On acyclic graphs topological
+        order is the provably good propagation order; this hands the
+        FIFO loop that order for the statically-known graph without any
+        per-pop heap cost."""
+        worklist = self._worklist
+        if len(worklist) > 1:
+            topo = self._topo_order
+            self._worklist = deque(
+                sorted(worklist, key=lambda entry: topo[entry[0]]))
 
     # ------------------------------------------------------------------
     # Stride-window tracing (tracer present only; never on the per-pop
@@ -477,12 +622,13 @@ class Solver:
         succs = self._succs
         meta_by_node = self._meta_by_node
         mask_for = self._filter_masks.mask_for
-        object_class = self._object_class
+        object_ids = self._object_ids
         governor = self.governor
         plan = self._fault_plan
         phase = self.phase_label
         tracer = self.tracer
         stride_mask = self._stride_mask
+        probe = self._fifo_probe if self.use_scc else None
         iterations = self.iterations
         facts = 0
         # An already-expired budget must raise even if the solve would
@@ -490,7 +636,7 @@ class Solver:
         if deadline is not None and time.monotonic() > deadline:
             raise AnalysisTimeout(self.timeout_seconds, iterations)
         if governor is not None:
-            governor.check(iterations=iterations, objects=len(object_class),
+            governor.check(iterations=iterations, objects=len(object_ids),
                            worklist=len(worklist))
         if plan is not None:
             plan.check_iteration(iterations, phase)
@@ -502,12 +648,14 @@ class Solver:
                         raise AnalysisTimeout(self.timeout_seconds, iterations)
                     if governor is not None:
                         governor.check(iterations=iterations,
-                                       objects=len(object_class),
+                                       objects=len(object_ids),
                                        worklist=len(worklist))
                     if plan is not None:
                         plan.check_iteration(iterations, phase)
                     if tracer is not None:
                         self._rotate_window(iterations, len(worklist), facts)
+                    if probe is not None and probe():
+                        break
                 node, delta = pop()
                 known = pts[node]
                 # delta & ~known, without materializing the full-width
@@ -533,27 +681,42 @@ class Solver:
             self.iterations = iterations
             self.counters["facts_propagated"] += facts
 
-    def _run_sets(self, deadline: Optional[float]) -> None:
-        """Fixpoint loop, legacy ``set[int]`` backend (A/B baseline)."""
+    def _run_bits_coalesce(self, deadline: Optional[float]) -> None:
+        """Fixpoint loop, bitset backend, FIFO-mode SCC.
+
+        Identical delta algebra to :meth:`_run_bits`; the difference is
+        the worklist discipline of :meth:`_push_fifo_coalesce` — pushes
+        landing on a queued node merge into its entry (counted as
+        ``propagations_saved``), so the node is popped once with the
+        union instead of once per push.  This is exactly the merging
+        the wave loop's pending dict performs, without the heap: on
+        acyclic workloads it keeps FIFO's ~2-3x cheaper per-pop cost
+        *and* recoups the up-front ranking pass, which is how SCC mode
+        stays >= 1.0x of ``scc=off`` on the deep-context profiles that
+        previously regressed.
+        """
         worklist = self._worklist
         pop = worklist.popleft
         append = worklist.append
+        queued = self._fifo_queued
         pts = self._pts
         succs = self._succs
         meta_by_node = self._meta_by_node
-        is_subtype = self._is_subtype_name
-        object_class = self._object_class
+        mask_for = self._filter_masks.mask_for
+        object_ids = self._object_ids
         governor = self.governor
         plan = self._fault_plan
         phase = self.phase_label
         tracer = self.tracer
         stride_mask = self._stride_mask
+        probe = self._fifo_probe
         iterations = self.iterations
         facts = 0
+        saved = 0
         if deadline is not None and time.monotonic() > deadline:
             raise AnalysisTimeout(self.timeout_seconds, iterations)
         if governor is not None:
-            governor.check(iterations=iterations, objects=len(object_class),
+            governor.check(iterations=iterations, objects=len(object_ids),
                            worklist=len(worklist))
         if plan is not None:
             plan.check_iteration(iterations, phase)
@@ -565,12 +728,92 @@ class Solver:
                         raise AnalysisTimeout(self.timeout_seconds, iterations)
                     if governor is not None:
                         governor.check(iterations=iterations,
-                                       objects=len(object_class),
+                                       objects=len(object_ids),
                                        worklist=len(worklist))
                     if plan is not None:
                         plan.check_iteration(iterations, phase)
                     if tracer is not None:
                         self._rotate_window(iterations, len(worklist), facts)
+                    if probe():
+                        break
+                entry = pop()
+                node = entry[0]
+                delta = entry[1]
+                # consume: later pushes to this node re-queue it
+                entry[1] = 0
+                known = pts[node]
+                common = delta & known
+                if common:
+                    delta ^= common
+                    if not delta:
+                        continue
+                pts[node] = known | delta
+                facts += popcount(delta)
+                for succ, filter_class in succs[node]:
+                    if filter_class is not None:
+                        filtered = delta & mask_for(filter_class)
+                        if not filtered:
+                            continue
+                    else:
+                        filtered = delta
+                    e = queued[succ]
+                    if e is not None and e[1]:
+                        e[1] |= filtered
+                        saved += 1
+                    else:
+                        e = [succ, filtered]
+                        queued[succ] = e
+                        append(e)
+                meta = meta_by_node[node]
+                if meta is not None:
+                    self._process_var_delta(meta, delta)
+        finally:
+            self.iterations = iterations
+            self.counters["facts_propagated"] += facts
+            self.counters["propagations_saved"] += saved
+
+    def _run_sets(self, deadline: Optional[float]) -> None:
+        """Fixpoint loop, legacy ``set[int]`` backend (A/B baseline)."""
+        worklist = self._worklist
+        pop = worklist.popleft
+        append = worklist.append
+        pts = self._pts
+        succs = self._succs
+        meta_by_node = self._meta_by_node
+        is_subtype = self._is_subtype_name
+        object_class = self._object_class
+        object_ids = self._object_ids
+        governor = self.governor
+        plan = self._fault_plan
+        phase = self.phase_label
+        tracer = self.tracer
+        stride_mask = self._stride_mask
+        probe = self._fifo_probe if self.use_scc else None
+        iterations = self.iterations
+        facts = 0
+        if deadline is not None and time.monotonic() > deadline:
+            raise AnalysisTimeout(self.timeout_seconds, iterations)
+        if governor is not None:
+            governor.check(iterations=iterations, objects=len(object_ids),
+                           worklist=len(worklist))
+        if plan is not None:
+            plan.check_iteration(iterations, phase)
+        try:
+            while worklist:
+                iterations += 1
+                if not iterations & stride_mask:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise AnalysisTimeout(self.timeout_seconds, iterations)
+                    if governor is not None:
+                        governor.check(iterations=iterations,
+                                       objects=len(object_ids),
+                                       worklist=len(worklist))
+                    if plan is not None:
+                        plan.check_iteration(iterations, phase)
+                    if tracer is not None:
+                        self._rotate_window(iterations, len(worklist), facts)
+                    if probe is not None and probe():
+                        break
                 node, delta = pop()
                 known = pts[node]
                 delta = delta - known
@@ -595,11 +838,132 @@ class Solver:
             self.iterations = iterations
             self.counters["facts_propagated"] += facts
 
+    def _run_sets_coalesce(self, deadline: Optional[float]) -> None:
+        """Fixpoint loop, set backend, FIFO-mode SCC — the set-algebra
+        twin of :meth:`_run_bits_coalesce` (same coalescing worklist
+        discipline, so the two backends pop identical sequences)."""
+        worklist = self._worklist
+        pop = worklist.popleft
+        append = worklist.append
+        queued = self._fifo_queued
+        pts = self._pts
+        succs = self._succs
+        meta_by_node = self._meta_by_node
+        is_subtype = self._is_subtype_name
+        object_class = self._object_class
+        object_ids = self._object_ids
+        governor = self.governor
+        plan = self._fault_plan
+        phase = self.phase_label
+        tracer = self.tracer
+        stride_mask = self._stride_mask
+        probe = self._fifo_probe
+        iterations = self.iterations
+        facts = 0
+        saved = 0
+        if deadline is not None and time.monotonic() > deadline:
+            raise AnalysisTimeout(self.timeout_seconds, iterations)
+        if governor is not None:
+            governor.check(iterations=iterations, objects=len(object_ids),
+                           worklist=len(worklist))
+        if plan is not None:
+            plan.check_iteration(iterations, phase)
+        try:
+            while worklist:
+                iterations += 1
+                if not iterations & stride_mask:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise AnalysisTimeout(self.timeout_seconds, iterations)
+                    if governor is not None:
+                        governor.check(iterations=iterations,
+                                       objects=len(object_ids),
+                                       worklist=len(worklist))
+                    if plan is not None:
+                        plan.check_iteration(iterations, phase)
+                    if tracer is not None:
+                        self._rotate_window(iterations, len(worklist), facts)
+                    if probe():
+                        break
+                entry = pop()
+                node = entry[0]
+                delta = entry[1]
+                # consume: later pushes to this node re-queue it
+                entry[1] = None
+                known = pts[node]
+                delta -= known  # entry-owned (copied at store)
+                if not delta:
+                    continue
+                known |= delta
+                facts += len(delta)
+                for succ, filter_class in succs[node]:
+                    if filter_class is not None:
+                        filtered = {
+                            o for o in delta
+                            if is_subtype(object_class[o], filter_class)
+                        }
+                        if not filtered:
+                            continue
+                    else:
+                        filtered = delta
+                    e = queued[succ]
+                    if e is not None and e[1]:
+                        e[1] |= filtered
+                        saved += 1
+                    else:
+                        # copy so the entry owns its set: merges and
+                        # the pop's difference mutate in place
+                        e = [succ, set(filtered)]
+                        queued[succ] = e
+                        append(e)
+                meta = meta_by_node[node]
+                if meta is not None:
+                    self._process_var_delta(meta, delta)
+        finally:
+            self.iterations = iterations
+            self.counters["facts_propagated"] += facts
+            self.counters["propagations_saved"] += saved
+
     # ------------------------------------------------------------------
     # Wave-scheduled fixpoint loops (SCC mode)
     # ------------------------------------------------------------------
     def _push_fifo(self, node: int, delta) -> None:
         self._worklist.append((node, delta))
+
+    def _push_fifo_coalesce(self, node: int, delta: int) -> None:
+        """FIFO push with wave-style delta merging (bits + SCC only).
+
+        Worklist entries are mutable ``[node, delta]`` pairs indexed by
+        ``_fifo_queued``; a push landing on a node whose entry is still
+        unconsumed folds into it instead of appending another.  The
+        loop zeroes an entry's delta on pop, so later pushes re-queue
+        the node at the tail — plain FIFO order, strictly fewer pops.
+        """
+        queued = self._fifo_queued
+        entry = queued[node]
+        if entry is not None and entry[1]:
+            entry[1] |= delta
+            self.counters["propagations_saved"] += 1
+            return
+        entry = [node, delta]
+        queued[node] = entry
+        self._worklist.append(entry)
+
+    def _push_fifo_coalesce_sets(self, node: int, delta) -> None:
+        """Set-backend twin of :meth:`_push_fifo_coalesce`, so both
+        backends pop the same coalesced sequence (the backend
+        differential pins iteration equality).  The queued set is owned
+        by the entry (copied on store, rebound on merge — never mutated
+        in place), so callers may pass live views.
+        """
+        queued = self._fifo_queued
+        entry = queued[node]
+        if entry is not None and entry[1]:
+            entry[1] |= delta
+            self.counters["propagations_saved"] += 1
+            return
+        entry = [node, set(delta)]
+        queued[node] = entry
+        self._worklist.append(entry)
 
     def _push_wave_bits(self, node: int, delta: int) -> None:
         """Merge ``delta`` into the node's pending wave (bitset mode).
@@ -656,7 +1020,7 @@ class Solver:
         succs = self._succs
         meta_by_node = self._meta_by_node
         mask_for = self._filter_masks.mask_for
-        object_class = self._object_class
+        object_ids = self._object_ids
         governor = self.governor
         plan = self._fault_plan
         phase = self.phase_label
@@ -670,7 +1034,7 @@ class Solver:
         if deadline is not None and time.monotonic() > deadline:
             raise AnalysisTimeout(self.timeout_seconds, iterations)
         if governor is not None:
-            governor.check(iterations=iterations, objects=len(object_class),
+            governor.check(iterations=iterations, objects=len(object_ids),
                            worklist=len(pending))
         if plan is not None:
             plan.check_iteration(iterations, phase)
@@ -682,7 +1046,7 @@ class Solver:
                         raise AnalysisTimeout(self.timeout_seconds, iterations)
                     if governor is not None:
                         governor.check(iterations=iterations,
-                                       objects=len(object_class),
+                                       objects=len(object_ids),
                                        worklist=len(pending))
                     if plan is not None:
                         plan.check_iteration(iterations, phase)
@@ -730,6 +1094,7 @@ class Solver:
         meta_by_node = self._meta_by_node
         is_subtype = self._is_subtype_name
         object_class = self._object_class
+        object_ids = self._object_ids
         governor = self.governor
         plan = self._fault_plan
         phase = self.phase_label
@@ -743,7 +1108,7 @@ class Solver:
         if deadline is not None and time.monotonic() > deadline:
             raise AnalysisTimeout(self.timeout_seconds, iterations)
         if governor is not None:
-            governor.check(iterations=iterations, objects=len(object_class),
+            governor.check(iterations=iterations, objects=len(object_ids),
                            worklist=len(pending))
         if plan is not None:
             plan.check_iteration(iterations, phase)
@@ -755,7 +1120,7 @@ class Solver:
                         raise AnalysisTimeout(self.timeout_seconds, iterations)
                     if governor is not None:
                         governor.check(iterations=iterations,
-                                       objects=len(object_class),
+                                       objects=len(object_ids),
                                        worklist=len(pending))
                     if plan is not None:
                         plan.check_iteration(iterations, phase)
@@ -800,15 +1165,24 @@ class Solver:
     # ------------------------------------------------------------------
     def _maybe_collapse(self) -> bool:
         """Run a detection pass if the copy subgraph grew since the last
-        one (called on the stride gate; a pass is O(V+E)).
+        one (called on the wave loop's stride gate; a pass is O(V+E)).
 
-        Unproductive passes double the number of grown gates skipped
+        Two dampers keep unproductive passes off the hot path:
+        creation-dominated windows defer detection outright (the graph
+        is growing faster than facts settle, so a ranking would be
+        stale on arrival — :class:`repro.pta.scc.AdaptiveGate`), and
+        unproductive passes double the number of grown gates skipped
         before the next one (capped at ``_MAX_COLLAPSE_BACKOFF``);
-        finding a cycle resets the cadence to every gate.  Backoff only
-        defers an optimization — collapse never affects the fixpoint —
+        finding a cycle resets the cadence to every gate.  Both only
+        defer an optimization — collapse never affects the fixpoint —
         so correctness is untouched.
         """
+        dominated = self._adaptive.creation_dominated(
+            self._stride_mask + 1, len(self._pts))
         if self.counters["copy_edges"] == self._copy_edges_at_last_pass:
+            return False
+        if dominated:
+            self.counters["scc_passes_deferred"] += 1
             return False
         self._gates_until_pass -= 1
         if self._gates_until_pass > 0:
@@ -821,6 +1195,46 @@ class Solver:
             self._collapse_backoff = min(self._collapse_backoff * 2,
                                          _MAX_COLLAPSE_BACKOFF)
         self._gates_until_pass = self._collapse_backoff
+        return True
+
+    def _fifo_probe(self) -> bool:
+        """Stride-gate hook of the FIFO (acyclic) SCC mode: a read-only
+        detection probe under the same dampers as
+        :meth:`_maybe_collapse`.
+
+        Returns True exactly when cycles were found — the FIFO loop
+        then breaks and :meth:`solve` promotes to wave scheduling
+        (draining the remaining worklist into pending deltas and
+        running the collapse for real).  A fruitless probe costs one
+        Tarjan pass and backs off exponentially; a deferred or
+        watermark-skipped gate costs a few integer ops.
+        """
+        dominated = self._adaptive.creation_dominated(
+            self._stride_mask + 1, len(self._pts))
+        if self.counters["copy_edges"] == self._copy_edges_at_last_pass:
+            return False
+        if dominated:
+            self.counters["scc_passes_deferred"] += 1
+            return False
+        self._gates_until_pass -= 1
+        if self._gates_until_pass > 0:
+            return False
+        self._copy_edges_at_last_pass = self.counters["copy_edges"]
+        self.counters["scc_passes"] += 1
+        cycles, _ = condense_copy_graph(self._succs, self._uf,
+                                        tracer=self.tracer)
+        if not cycles:
+            self._collapse_backoff = min(self._collapse_backoff * 2,
+                                         _MAX_COLLAPSE_BACKOFF)
+            self._gates_until_pass = self._collapse_backoff
+            return False
+        # Cycles formed mid-solve: promote.  The promotion re-runs the
+        # pass inside _collapse_cycles (at most once per solve), which
+        # also refreshes the wave priorities.
+        self.counters["scc_promotions"] += 1
+        self._collapse_backoff = 1
+        self._gates_until_pass = 1
+        self._promote = True
         return True
 
     def _collapse_cycles(self) -> None:
@@ -959,12 +1373,15 @@ class Solver:
         for name, value in self.counters.items():
             perf.incr(f"pta.{name}", value)
         perf.gauge_max("pta.nodes", len(self._pts))
-        perf.gauge_max("pta.objects", len(self._object_class))
+        perf.gauge_max("pta.objects", len(self._object_ids))
+        if self._numbering is not None:
+            perf.gauge_max("pta.numbered_slots", self._numbering.count)
         if self._pts:
             count = popcount if self._use_bits else len
             perf.gauge_max("pta.pts_size", max(count(p) for p in self._pts))
         for name, value in self._filter_masks.stats().items():
             perf.incr(f"pta.{name}", value)
+        perf.add_time("pta.mask_build", self._filter_masks.build_seconds)
 
     # ------------------------------------------------------------------
     # Points-to accessors (representation-agnostic; used by results)
@@ -1060,6 +1477,7 @@ class Solver:
             self._succs.append([])
             self._edge_seen.append(set())
             self._meta_by_node.append(None)
+            self._fifo_queued.append(None)
             self._uf.add()
             # Until the next detection pass ranks them, new nodes pop
             # *after* everything already ordered (they are created by
@@ -1105,26 +1523,40 @@ class Solver:
             hctx = self.selector.select_heap(method_ctx, site)
         obj = self._object_ids.get((key, hctx))
         if obj is None:
-            obj = len(self._object_site_key)
-            self._object_ids[(key, hctx)] = obj
-            self._object_site_key.append(key)
-            self._object_heap_ctx.append(hctx)
-            self._object_class.append(class_name)
-            if self._type_elements:
-                # type-sensitivity: the class containing the allocation
-                # site (of the representative, for merged objects)
-                elem: object = heap_model.containing_class(
-                    site, class_name, self.program
-                )
+            slots = self._numbering_slots
+            slot = (slots.get(key) if slots is not None and not hctx
+                    else None)
+            if slot is not None:
+                # Numbered fast path: the id and its metadata were
+                # reserved at construction; materialize the slot.
+                obj = slot
+                self._object_ids[(key, hctx)] = obj
             else:
-                # object-sensitivity: the allocation site key — for
-                # merged objects this is the representative's site, which
-                # is Section 3.6.1's context-element replacement rule
-                elem = key
-            self._object_ctx_elem.append(elem)
-            self._object_alloc_sites.append({site})
-        else:
-            self._object_alloc_sites[obj].add(site)
+                # Discovery-order path — also the overflow space above
+                # the numbered block (context-sensitive heap clones,
+                # classes outside the hierarchy).
+                obj = len(self._object_site_key)
+                self._object_ids[(key, hctx)] = obj
+                self._object_site_key.append(key)
+                self._object_heap_ctx.append(hctx)
+                self._object_class.append(class_name)
+                if self._type_elements:
+                    # type-sensitivity: the class containing the
+                    # allocation site (of the representative, for
+                    # merged objects)
+                    elem: object = heap_model.containing_class(
+                        site, class_name, self.program
+                    )
+                else:
+                    # object-sensitivity: the allocation site key — for
+                    # merged objects this is the representative's site,
+                    # which is Section 3.6.1's context-element
+                    # replacement rule
+                    elem = key
+                self._object_ctx_elem.append(elem)
+                self._object_alloc_sites.append(set())
+            self._live_objects.append(obj)
+        self._object_alloc_sites[obj].add(site)
         return obj
 
     def _singleton(self, obj: int):
@@ -1198,7 +1630,10 @@ class Solver:
     # ------------------------------------------------------------------
     def _add_edge(self, source: int, target: int,
                   filter_class: Optional[str] = None) -> None:
-        if self.use_scc:
+        if self._wave:
+            # Unions only ever happen in wave mode; FIFO-mode SCC (the
+            # adaptive acyclic path) skips the resolution entirely so
+            # its edge path is byte-for-byte the scc=off one.
             parent = self._uf.parent
             if parent[source] != source:
                 source = self._find(source)
@@ -1225,7 +1660,7 @@ class Solver:
                 # Bit-vectors are immutable — push as-is; sets must be
                 # copied by FIFO push because the node keeps mutating its
                 # own set (the wave push copies on first insert itself).
-                if self._use_bits or self.use_scc:
+                if self._use_bits or self._wave:
                     payload = existing
                 else:
                     payload = set(existing)
@@ -1339,9 +1774,10 @@ def solve(program: Program, selector: Optional[ContextSelector] = None,
           pts_backend: Optional[str] = None,
           perf: Optional[PerfRecorder] = None,
           governor=None, phase_label: str = "main",
-          scc: Optional[object] = None, tracer=None):
+          scc: Optional[object] = None, tracer=None,
+          numbering: Optional[object] = None):
     """Convenience wrapper: build a :class:`Solver` and run it."""
     return Solver(program, selector, heap_model, timeout_seconds,
                   pts_backend=pts_backend, perf=perf,
                   governor=governor, phase_label=phase_label,
-                  scc=scc, tracer=tracer).solve()
+                  scc=scc, tracer=tracer, numbering=numbering).solve()

@@ -154,7 +154,8 @@ class ResultCache:
 #: config string; folded into every cache key.
 def _environment_key() -> str:
     return (f"backend={os.environ.get('REPRO_PTS_BACKEND', '')}"
-            f"|scc={os.environ.get('REPRO_SCC', '')}")
+            f"|scc={os.environ.get('REPRO_SCC', '')}"
+            f"|numbering={os.environ.get('REPRO_NUMBERING', '')}")
 
 
 class AnalysisService:

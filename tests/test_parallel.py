@@ -293,6 +293,28 @@ class TestPickleRoundTrips:
 
         config = parse_config("M-2obj@bitset@scc")
         assert pickle.loads(pickle.dumps(config)) == config
+        config = parse_config("2obj@set@noscc@nonum")
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_filter_masks_round_trip_rebuild(self):
+        """Mask caches are derived state: a worker receiving a pickled
+        solver payload must get lean masks that rebuild identically
+        (the deep checks live in tests/test_numbering.py)."""
+        from repro.pta.bitset import ClassFilterMasks, RangeFilterMasks
+        from repro.pta.solver import Solver
+        from repro.workloads import corpus_program
+
+        program = corpus_program("cache")
+        for numbering, kind in ((True, RangeFilterMasks),
+                                (False, ClassFilterMasks)):
+            solver = Solver(program, numbering=numbering)
+            solver.solve()
+            masks = solver._filter_masks
+            assert isinstance(masks, kind)
+            warm = {c: masks.mask_for(c) for c in program.classes}
+            clone = pickle.loads(pickle.dumps(masks))
+            assert len(clone) == 0
+            assert {c: clone.mask_for(c) for c in program.classes} == warm
 
     def test_fpg_round_trip(self, spectrum_fpg):
         clone = pickle.loads(pickle.dumps(spectrum_fpg))

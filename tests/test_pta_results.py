@@ -37,7 +37,10 @@ class TestObjects:
 
     def test_describe_object(self):
         r = result()
-        d = r.describe_object(0)
+        # select by class, not by id — hierarchy-ordered numbering
+        # assigns ids by type, not discovery order
+        a_obj = next(o for o in r.objects() if r.object_class(o) == "A")
+        d = r.describe_object(a_obj)
         assert d.class_name == "A"
         assert d.site_key == 1
         assert "A" in str(d)

@@ -18,8 +18,15 @@ from repro.analysis.config import parse_config
 from repro.analysis.governor import ResourceGovernor
 from repro.analysis.pipeline import next_rung
 from repro.core.disjoint_sets import IntDisjointSets
+from repro.frontend import parse_program
 from repro.pta.bitset import BACKEND_BITSET, BACKEND_SET
-from repro.pta.scc import condense_copy_graph, resolve_scc, set_default_scc
+from repro.pta.context import selector_for
+from repro.pta.scc import (
+    AdaptiveGate,
+    condense_copy_graph,
+    resolve_scc,
+    set_default_scc,
+)
 from repro.pta.solver import Solver
 from repro.resources import ResourceExhausted, WorkBudgetExceeded
 from repro.workloads import CYCLES, WorkloadSpec, generate, load_profile
@@ -347,6 +354,144 @@ class TestStrideAccountingAfterMerges:
                         governor=Probe(check_stride=1))
         solver.solve()
         assert observed and max(observed) > 0
+
+
+# ----------------------------------------------------------------------
+# Adaptive gating: detection must pay for itself
+# ----------------------------------------------------------------------
+class TestAdaptiveGate:
+    """Unit tests for the creation-dominance verdict."""
+
+    def test_window_burst_defers(self):
+        gate = AdaptiveGate()
+        gate.reset_baseline(100)
+        # 4 fresh nodes x factor 16 >= 64 pops: still growing
+        assert gate.creation_dominated(64, 104)
+
+    def test_settled_graph_opens_gate(self):
+        gate = AdaptiveGate()
+        gate.reset_baseline(100)
+        assert not gate.creation_dominated(64, 100)
+
+    def test_cumulative_dominance_outlives_quiet_window(self):
+        """A deep-context solve interns in bursts; a quiet window must
+        not re-open the gate while creation still dominates the solve
+        as a whole (the luindex/2obj shape)."""
+        gate = AdaptiveGate()
+        gate.reset_baseline(0)
+        assert gate.creation_dominated(16, 10)   # burst: 10 nodes
+        assert gate.creation_dominated(16, 10)   # quiet, but 160 >= 32
+
+    def test_sustained_pops_drain_cumulative(self):
+        """Once creation genuinely stops, accumulated pops drive the
+        cumulative ratio down and the gate re-opens."""
+        gate = AdaptiveGate()
+        gate.reset_baseline(0)
+        gate.creation_dominated(16, 4)
+        verdicts = [gate.creation_dominated(16, 4) for _ in range(10)]
+        assert False in verdicts
+        assert not verdicts[-1]
+
+    def test_baseline_excludes_construction(self):
+        """Static-seed interning is not mid-solve creation: resetting
+        at N and popping against a constant N is never dominated."""
+        gate = AdaptiveGate()
+        gate.creation_dominated(1, 5000)  # construction noise
+        gate.reset_baseline(5000)
+        assert not gate.creation_dominated(16, 5000)
+
+
+class TestAdaptiveFifoRegression:
+    """The PR 3 regression, pinned: on a luindex-shaped acyclic
+    deep-context workload, ``scc=on`` must do **no more** pops than
+    ``scc=off`` — the adaptive gate keeps mid-solve Tarjan passes off
+    the hot path entirely (the up-front pass is the only one) and FIFO
+    delta coalescing strictly reduces pop count."""
+
+    @pytest.fixture(scope="class")
+    def luindex(self):
+        return load_profile("luindex", 0.25)
+
+    @pytest.mark.parametrize("backend", [BACKEND_BITSET, BACKEND_SET])
+    def test_scc_on_does_not_exceed_off(self, luindex, backend):
+        on = Solver(luindex, selector_for("2obj"), pts_backend=backend,
+                    scc=True)
+        on_result = on.solve()
+        off = Solver(luindex, selector_for("2obj"), pts_backend=backend,
+                     scc=False)
+        off_result = off.solve()
+        assert on.iterations <= off.iterations
+        assert on_result.stats()["pts_facts"] == off_result.stats()["pts_facts"]
+        assert (on_result.call_graph_edges()
+                == off_result.call_graph_edges())
+        # coalescing is where the win comes from on an acyclic graph
+        assert on.counters["propagations_saved"] > 0
+        # detection ran exactly once (up-front, doubling as the mode
+        # decision); every stride gate deferred, nothing promoted
+        assert on.counters["scc_passes"] == 1
+        assert on.counters["scc_passes_deferred"] > 0
+        assert on.counters["scc_promotions"] == 0
+        assert on.counters["sccs_collapsed"] == 0
+
+    def test_both_backends_pop_identically(self, luindex):
+        """The coalescing discipline is backend-symmetric: bits and
+        sets pop the same merged sequence."""
+        counts = {}
+        for backend in (BACKEND_BITSET, BACKEND_SET):
+            solver = Solver(luindex, selector_for("2obj"),
+                            pts_backend=backend, scc=True)
+            solver.solve()
+            counts[backend] = (solver.iterations,
+                               solver.counters["propagations_saved"])
+        assert counts[BACKEND_BITSET] == counts[BACKEND_SET]
+
+
+#: Acyclic seed graph; the copy cycle x -> v -> ret -> x only forms
+#: once virtual dispatch of ``A.id`` resolves mid-solve.
+MIDSOLVE_CYCLE_SOURCE = """
+class A { method id(v) { return v; } }
+main {
+  a = new A();
+  x = new Object();
+  y = a.id(x);
+  x = a.id(y);
+}
+"""
+
+
+class TestFifoPromotion:
+    def test_midsolve_cycle_promotes_to_wave(self):
+        """With the dominance damper disabled (factor 0: a probe at
+        every gate), a cycle formed mid-solve must promote the FIFO
+        loop to wave scheduling and collapse — and the result must
+        match the uncondensed solve."""
+        program = parse_program(MIDSOLVE_CYCLE_SOURCE)
+        solver = Solver(program, scc=True,
+                        governor=ResourceGovernor(check_stride=1))
+        solver._adaptive = AdaptiveGate(dominance_factor=0)
+        result = solver.solve()
+        assert solver.counters["scc_promotions"] == 1
+        assert solver.counters["sccs_collapsed"] >= 1
+        assert solver.counters["scc_nodes_merged"] >= 2
+        off = Solver(program, scc=False).solve()
+        assert result.stats()["pts_facts"] == off.stats()["pts_facts"]
+        assert sorted(result.call_graph_edges()) == sorted(
+            off.call_graph_edges())
+
+    def test_default_gate_defers_on_tiny_fixture(self):
+        """Under the production dominance factor the same fixture stays
+        creation-dominated throughout (a handful of pops against fresh
+        dispatch nodes), so no probe ever runs: deferral is observable
+        and correctness unaffected."""
+        program = parse_program(MIDSOLVE_CYCLE_SOURCE)
+        solver = Solver(program, scc=True,
+                        governor=ResourceGovernor(check_stride=1))
+        result = solver.solve()
+        assert solver.counters["scc_passes"] == 1  # up-front only
+        assert solver.counters["scc_passes_deferred"] > 0
+        assert solver.counters["scc_promotions"] == 0
+        off = Solver(program, scc=False).solve()
+        assert result.stats()["pts_facts"] == off.stats()["pts_facts"]
 
 
 # ----------------------------------------------------------------------
