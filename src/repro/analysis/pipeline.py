@@ -44,7 +44,7 @@ from __future__ import annotations
 import time
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro import faults, obs
 from repro.analysis.config import AnalysisConfig, parse_config
@@ -60,6 +60,8 @@ from repro.core.fpg import FieldPointsToGraph, FPGIntegrityError, build_fpg
 from repro.core.heap_modeler import build_heap_abstraction
 from repro.core.merging import MergeOptions, MergeResult, merge_type_consistent_objects
 from repro.faults import InjectedFault
+from repro.incr.cache import FPGArtifact, MergeArtifact
+from repro.incr.diff import diff_programs
 from repro.ir.program import Program
 from repro.pta.context import selector_for
 from repro.pta.heapmodel import (
@@ -69,7 +71,7 @@ from repro.pta.heapmodel import (
     MahjongAbstraction,
 )
 from repro.pta.results import PointsToResult
-from repro.pta.solver import AnalysisTimeout, Solver
+from repro.pta.solver import AnalysisTimeout, Solver, WarmStartMismatch
 from repro.resources import ResourceExhausted
 
 __all__ = [
@@ -121,15 +123,22 @@ def _maybe_span(tracer: Optional[obs.Tracer], name: str, **attrs) -> Iterator[No
 class PreAnalysisArtifacts:
     """Everything the pre-analysis phase produces (reusable across the
     main analyses of one program, as in the paper's Table 2 where the
-    pre-analysis cost is shared)."""
+    pre-analysis cost is shared).
 
-    result: PointsToResult
+    ``result`` is ``None`` only when the ci solve was skipped entirely
+    because the FPG came out of an :class:`~repro.incr.ArtifactCache`
+    (the FPG supersedes the raw solve for everything downstream);
+    ``cache_hits`` names the phases served from the cache.
+    """
+
+    result: Optional[PointsToResult]
     fpg: FieldPointsToGraph
     merge: MergeResult
     abstraction: MahjongAbstraction
     ci_seconds: float
     fpg_seconds: float
     mahjong_seconds: float
+    cache_hits: Tuple[str, ...] = ()
 
     @property
     def total_seconds(self) -> float:
@@ -195,6 +204,10 @@ class AnalysisRun:
     exhaustion_cause: Optional[str] = None
     #: one record per ladder attempt, in order (last one is this run's).
     attempts: List[AttemptRecord] = field(default_factory=list)
+    #: incremental-solve provenance (``mode`` = ``warm``/``cold`` plus
+    #: either the reuse numbers or the reason for falling back), set
+    #: only when the caller passed ``incremental=``.
+    incr: Optional[Dict[str, object]] = None
 
     @property
     def succeeded(self) -> bool:
@@ -229,6 +242,8 @@ class AnalysisRun:
             metrics["exhaustion_cause"] = self.exhaustion_cause
         if any(not attempt.succeeded for attempt in self.attempts):
             metrics["attempts"] = [a.as_dict() for a in self.attempts]
+        if self.incr is not None:
+            metrics["incremental"] = dict(self.incr)
         if self.result is not None:
             call_graph = build_call_graph(self.result)
             devirt = devirtualize(call_graph)
@@ -312,6 +327,18 @@ def classify_failure(exc: BaseException) -> FailureInfo:
                        error_type=type(exc).__name__, detail=str(exc))
 
 
+def _pre_cache_component(merge_options, pts_backend, scc, numbering) -> str:
+    """Cache-key component for the pre-analysis artifacts: every
+    *explicit* argument that can change them.  (Env-knob defaults are
+    folded in separately via :func:`repro.envknobs.env_knobs`.)"""
+    return "|".join((
+        f"backend={pts_backend}",
+        f"scc={scc}",
+        f"numbering={numbering}",
+        f"merge={merge_options!r}",
+    ))
+
+
 def run_pre_analysis(
     program: Program,
     merge_options: Optional[MergeOptions] = None,
@@ -322,6 +349,7 @@ def run_pre_analysis(
     scc: Optional[bool] = None,
     numbering: Optional[bool] = None,
     tracer: Optional[obs.Tracer] = None,
+    artifact_cache=None,
 ) -> PreAnalysisArtifacts:
     """Phases 1–3: ci points-to analysis, FPG construction, MAHJONG.
 
@@ -336,33 +364,72 @@ def run_pre_analysis(
     ``phase:*`` span.  Exhaustion raises
     :class:`~repro.resources.ResourceExhausted` with the phase
     attributed — :func:`run_analysis` catches it.
+
+    ``artifact_cache`` (an :class:`~repro.incr.ArtifactCache`) keys the
+    FPG and merged-object map by content hash of the printed program,
+    the explicit arguments above, and every result-affecting env knob;
+    a hit skips the corresponding phases (an FPG hit also skips the ci
+    solve, leaving ``result=None``).  Corrupt entries read as misses.
     """
+    fpg = merge = None
+    fpg_key = merge_key = None
+    cache_hits: List[str] = []
+    if artifact_cache is not None:
+        component = _pre_cache_component(merge_options, pts_backend, scc,
+                                         numbering)
+        fpg_key = artifact_cache.key_for("fpg", program, component)
+        merge_key = artifact_cache.key_for("merge", program, component)
+        fpg_artifact = artifact_cache.load("fpg", fpg_key)
+        if fpg_artifact is not None:
+            fpg = fpg_artifact.fpg
+            merge_artifact = artifact_cache.load("merge", merge_key)
+            if merge_artifact is not None:
+                merge = merge_artifact.merge
+
     t0 = time.monotonic()
-    with _maybe_span(tracer, "phase:pre"):
-        with _phase_scope(governor, "pre"):
-            faults.fire("pre-boundary", phase="pre")
-            pre_result = Solver(program, selector_for("ci"),
-                                AllocationSiteAbstraction(),
-                                timeout_seconds=timeout_seconds,
-                                pts_backend=pts_backend, perf=perf,
-                                governor=governor, phase_label="pre",
-                                scc=scc, numbering=numbering,
-                                tracer=tracer).solve()
+    pre_result: Optional[PointsToResult] = None
+    if fpg is None:
+        with _maybe_span(tracer, "phase:pre"):
+            with _phase_scope(governor, "pre"):
+                faults.fire("pre-boundary", phase="pre")
+                pre_result = Solver(program, selector_for("ci"),
+                                    AllocationSiteAbstraction(),
+                                    timeout_seconds=timeout_seconds,
+                                    pts_backend=pts_backend, perf=perf,
+                                    governor=governor, phase_label="pre",
+                                    scc=scc, numbering=numbering,
+                                    tracer=tracer).solve()
     t1 = time.monotonic()
-    with _maybe_span(tracer, "phase:fpg"):
-        with _phase_scope(governor, "fpg"):
-            faults.fire("fpg-boundary", phase="fpg")
-            fpg = build_fpg(pre_result)
-            # a corrupted artifact must not reach the merge phase; the
-            # fault plan may deliberately corrupt an edge right before.
-            faults.corrupt_fpg(fpg)
-            fpg.check_integrity()
+    if fpg is None:
+        with _maybe_span(tracer, "phase:fpg"):
+            with _phase_scope(governor, "fpg"):
+                faults.fire("fpg-boundary", phase="fpg")
+                fpg = build_fpg(pre_result)
+                # a corrupted artifact must not reach the merge phase; the
+                # fault plan may deliberately corrupt an edge right before.
+                faults.corrupt_fpg(fpg)
+                fpg.check_integrity()
+        if artifact_cache is not None:
+            artifact_cache.store("fpg", fpg_key, FPGArtifact(
+                fpg=fpg, ci_seconds=t1 - t0,
+                fpg_seconds=time.monotonic() - t1,
+            ))
+    else:
+        cache_hits.append("fpg")
     t2 = time.monotonic()
-    with _maybe_span(tracer, "phase:merge"):
-        with _phase_scope(governor, "merge"):
-            faults.fire("merge-boundary", phase="merge")
-            shared = SharedAutomata(fpg, perf=perf) if perf is not None else None
-            merge = merge_type_consistent_objects(fpg, merge_options, shared=shared)
+    shared = None
+    if merge is None:
+        with _maybe_span(tracer, "phase:merge"):
+            with _phase_scope(governor, "merge"):
+                faults.fire("merge-boundary", phase="merge")
+                shared = SharedAutomata(fpg, perf=perf) if perf is not None else None
+                merge = merge_type_consistent_objects(fpg, merge_options, shared=shared)
+        if artifact_cache is not None:
+            artifact_cache.store("merge", merge_key, MergeArtifact(
+                merge=merge, seconds=time.monotonic() - t2,
+            ))
+    else:
+        cache_hits.append("merge")
     t3 = time.monotonic()
     if perf is not None:
         perf.add_time("pre.fpg", t2 - t1)
@@ -377,6 +444,7 @@ def run_pre_analysis(
         ci_seconds=t1 - t0,
         fpg_seconds=t2 - t1,
         mahjong_seconds=t3 - t2,
+        cache_hits=tuple(cache_hits),
     )
 
 
@@ -472,14 +540,18 @@ def _solve_main(
     scc: Optional[bool] = None,
     numbering: Optional[bool] = None,
     tracer: Optional[obs.Tracer] = None,
+    warm_start=None,
 ) -> AnalysisRun:
-    """Phase 4 for one configuration; raises on exhaustion."""
+    """Phase 4 for one configuration; raises on exhaustion (or on
+    :class:`~repro.pta.solver.WarmStartMismatch` when ``warm_start``
+    does not translate — callers retry cold)."""
     selector = selector_for(config.sensitivity)
     solver = Solver(program, selector, heap_model,
                     timeout_seconds=timeout_seconds,
                     pts_backend=pts_backend, perf=perf,
                     governor=governor, phase_label="main", scc=scc,
-                    numbering=numbering, tracer=tracer)
+                    numbering=numbering, tracer=tracer,
+                    warm_start=warm_start)
     start = time.monotonic()
     with _maybe_span(tracer, "phase:main"):
         with _phase_scope(governor, "main"):
@@ -490,6 +562,48 @@ def _solve_main(
         result=result,
         main_seconds=time.monotonic() - start,
     )
+
+
+def _prepare_incremental(incremental, program: Program,
+                         config: AnalysisConfig, tracer):
+    """Resolve one ``incremental=`` base into ``(warm_start, note)``.
+
+    ``warm_start`` is ``None`` whenever the attempt must solve cold;
+    ``note`` is the provenance dict surfaced as
+    ``metrics()["incremental"]`` either way.
+    """
+    from repro.incr import resolve_incr
+    from repro.incr.engine import prepare_warm_start
+
+    if not resolve_incr(incremental.enabled):
+        return None, {"mode": "cold", "reason": "disabled"}
+    base_run = incremental.run
+    if base_run is None or base_run.result is None:
+        return None, {"mode": "cold", "reason": "no base result"}
+    if (base_run.config.sensitivity != config.sensitivity
+            or base_run.config.heap != config.heap):
+        return None, {
+            "mode": "cold",
+            "reason": (f"base config {base_run.config.name!r} does not "
+                       f"match {config.name!r}"),
+        }
+    delta = diff_programs(incremental.program, program)
+    if delta.is_structural:
+        return None, {"mode": "cold",
+                      "reason": "structural: " + "; ".join(delta.structural)}
+    warm = prepare_warm_start(base_run.result, program, delta)
+    if warm is None:
+        return None, {"mode": "cold",
+                      "reason": f"heap model {config.heap!r} not warmable"}
+    note = {
+        "mode": "warm",
+        "edited": list(delta.edited),
+        "warm_pairs": len(warm.pairs),
+        "warm_seeds": len(warm.seeds),
+    }
+    if tracer is not None:
+        tracer.instant("incr:warm-start", **note)
+    return warm, note
 
 
 def run_analysis(
@@ -505,6 +619,8 @@ def run_analysis(
     scc: Optional[bool] = None,
     numbering: Optional[bool] = None,
     tracer: Optional[obs.Tracer] = None,
+    incremental=None,
+    artifact_cache=None,
 ) -> AnalysisRun:
     """Run a named analysis configuration end to end.
 
@@ -538,6 +654,20 @@ def run_analysis(
     (``AttemptRecord.recorder``); only the successful attempt's numbers
     merge into ``perf``, so a failed rung cannot pollute the rescued
     run's counters.
+
+    ``incremental`` (an :class:`~repro.incr.IncrementalBase`) arms the
+    warm-start path: when the edit between the base program and this
+    one is non-structural, the attempt whose configuration matches the
+    base run's re-seeds the solver with the edit's retained facts and
+    re-propagates only the invalidation cone, converging to the exact
+    cold fixpoint (``result_digest`` byte-identity).  Anything that
+    cannot be warmed — structural deltas, mismatched configurations,
+    ``REPRO_INCR=off``, or a translation mismatch mid-apply — falls
+    back to a cold solve of the same rung; the choice and its reason
+    are surfaced as ``metrics()["incremental"]``.  ``artifact_cache``
+    (an :class:`~repro.incr.ArtifactCache`) is threaded into the
+    pre-analysis so unchanged modules reuse on-disk FPG/merge
+    artifacts.
     """
     if tracer is None:
         tracer = obs.current_tracer()
@@ -582,16 +712,38 @@ def run_analysis(
                             pts_backend=backend, perf=attempt_perf,
                             governor=governor, scc=use_scc,
                             numbering=use_numbering, tracer=tracer,
+                            artifact_cache=artifact_cache,
                         )
                     heap_model: HeapModel = shared_pre.abstraction
                 elif config.heap == "alloc-type":
                     heap_model = AllocationTypeAbstraction(program)
                 else:
                     heap_model = AllocationSiteAbstraction()
-                run = _solve_main(program, config, heap_model, timeout_seconds,
-                                  backend, attempt_perf, governor,
-                                  scc=use_scc, numbering=use_numbering,
-                                  tracer=tracer)
+                warm_start = None
+                if incremental is not None:
+                    warm_start, incr_note = _prepare_incremental(
+                        incremental, program, config, tracer)
+                try:
+                    run = _solve_main(program, config, heap_model,
+                                      timeout_seconds,
+                                      backend, attempt_perf, governor,
+                                      scc=use_scc, numbering=use_numbering,
+                                      tracer=tracer, warm_start=warm_start)
+                except WarmStartMismatch as exc:
+                    # The base solve could not be translated onto the new
+                    # program — solve the same rung cold instead.
+                    incr_note = {"mode": "cold",
+                                 "reason": f"warm-start mismatch: {exc}"}
+                    if tracer is not None:
+                        tracer.instant("incr:warm-start-mismatch",
+                                       detail=str(exc))
+                    run = _solve_main(program, config, heap_model,
+                                      timeout_seconds,
+                                      backend, attempt_perf, governor,
+                                      scc=use_scc, numbering=use_numbering,
+                                      tracer=tracer)
+                if incremental is not None:
+                    run.incr = incr_note
             except (ResourceExhausted, FPGIntegrityError) as exc:
                 seconds = time.monotonic() - start
                 phase = getattr(exc, "phase", None) or "main"

@@ -6,8 +6,8 @@ import sys
 from typing import Callable, Dict, List
 
 from repro.bench import (ablation, backends, batch, compare, fig8, fig9,
-                         motivating, numbering, parallel, prestats, report,
-                         scc, serve, table1, table2)
+                         incr, motivating, numbering, parallel, prestats,
+                         report, scc, serve, table1, table2)
 
 _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "motivating": motivating.main,
@@ -21,6 +21,7 @@ _HARNESSES: Dict[str, Callable[[List[str]], int]] = {
     "backends": backends.main,
     "scc": scc.main,
     "numbering": numbering.main,
+    "incr": incr.main,
     "batch": batch.main,
     "parallel": parallel.main,
     "serve": serve.main,

@@ -1,0 +1,165 @@
+"""Structural diff between two versions of a :class:`Program`.
+
+The diff classifies every change into one of two buckets:
+
+* **body edits** — a method with identical identity (qualified name,
+  parameters, staticness) whose statement list changed, plus methods
+  that disappeared.  These are the edits the incremental engine can
+  absorb: their cone of influence over the constraint graph is
+  retractable.
+* **structural changes** — anything that can invalidate facts *outside*
+  the edited methods' cone through channels the constraint graph does
+  not record: hierarchy edits (dispatch tables and cast filters move),
+  class field changes, method additions/removals/signature changes
+  (dispatch targets appear or vanish), or an entry-method identity
+  change.  These force a cold solve; :attr:`ProgramDelta.structural`
+  records why.
+
+Method bodies are compared by :func:`method_fingerprint`, a hash over
+each statement's dataclass ``repr`` (``repr`` — not ``str`` — because
+``Cast.__str__`` omits the cast site, and two casts differing only in
+site id must not be conflated).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.ir.program import Method, Program
+from repro.ir.statements import Cast, Invoke, New, StaticInvoke
+
+__all__ = ["ProgramDelta", "diff_programs", "method_fingerprint"]
+
+
+def method_fingerprint(method: Method) -> str:
+    """Content hash of a method's body (statement list, order-sensitive
+    — the printer preserves order, so round-trips keep it stable)."""
+    hasher = hashlib.sha256()
+    for stmt in method.statements:
+        hasher.update(repr(stmt).encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def _signature(method: Method) -> Tuple[str, Tuple[str, ...], bool]:
+    return (method.qualified_name, method.params, method.is_static)
+
+
+def _method_sites(method: Method) -> FrozenSet[int]:
+    """Allocation, call, and cast site ids appearing in the method —
+    the identifiers through which its facts can reach contexts and
+    heap objects elsewhere."""
+    sites = set()
+    for stmt in method.statements:
+        if isinstance(stmt, New):
+            sites.add(stmt.site)
+        elif isinstance(stmt, (Invoke, StaticInvoke)):
+            sites.add(stmt.call_site)
+        elif isinstance(stmt, Cast):
+            sites.add(stmt.cast_site)
+    return frozenset(sites)
+
+
+@dataclass(frozen=True)
+class ProgramDelta:
+    """Result of :func:`diff_programs` (old → new)."""
+
+    #: qualified names present in both versions with identical identity
+    #: but different bodies
+    changed: Tuple[str, ...]
+    #: qualified names only in the new version
+    added: Tuple[str, ...]
+    #: qualified names only in the old version
+    removed: Tuple[str, ...]
+    #: human-readable reasons the delta cannot be solved incrementally
+    #: (empty iff the engine may attempt a warm start)
+    structural: Tuple[str, ...]
+    #: alloc/call/cast site ids of the changed+removed methods *in the
+    #: old program* — the taint sources of the invalidation cone
+    edited_sites: FrozenSet[int]
+
+    @property
+    def is_structural(self) -> bool:
+        return bool(self.structural)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.changed or self.added or self.removed
+                    or self.structural)
+
+    @property
+    def edited(self) -> Tuple[str, ...]:
+        """Union of changed and removed qualified names (old-side)."""
+        return tuple(sorted(set(self.changed) | set(self.removed)))
+
+
+def _hierarchy_shape(program: Program) -> FrozenSet[Tuple[str, object]]:
+    return frozenset(
+        (cls.name, cls.superclass_name) for cls in program.hierarchy
+    )
+
+
+def _field_shape(program: Program) -> FrozenSet[Tuple[str, str, str, bool]]:
+    return frozenset(
+        (decl.name, fdecl.name, fdecl.declared_type, fdecl.is_static)
+        for decl in program.classes.values()
+        for fdecl in decl.fields.values()
+    )
+
+
+def diff_programs(old: Program, new: Program) -> ProgramDelta:
+    """Diff two program versions into a :class:`ProgramDelta`."""
+    structural = []
+    if _hierarchy_shape(old) != _hierarchy_shape(new):
+        structural.append("type hierarchy changed")
+    if _field_shape(old) != _field_shape(new):
+        structural.append("class fields changed")
+
+    old_methods: Dict[str, Method] = {
+        m.qualified_name: m for m in old.all_methods()
+    }
+    new_methods: Dict[str, Method] = {
+        m.qualified_name: m for m in new.all_methods()
+    }
+
+    if old.entry is None or new.entry is None:
+        structural.append("missing entry method")
+    elif (old.entry.qualified_name != new.entry.qualified_name
+          or old.entry.params != new.entry.params
+          or old.entry.is_static != new.entry.is_static):
+        structural.append("entry method identity changed")
+
+    added = tuple(sorted(set(new_methods) - set(old_methods)))
+    removed = tuple(sorted(set(old_methods) - set(new_methods)))
+    if added:
+        structural.append(f"methods added: {', '.join(added)}")
+
+    changed = []
+    for qualname in sorted(set(old_methods) & set(new_methods)):
+        old_m, new_m = old_methods[qualname], new_methods[qualname]
+        if _signature(old_m) != _signature(new_m):
+            structural.append(f"signature changed: {qualname}")
+            continue
+        if method_fingerprint(old_m) != method_fingerprint(new_m):
+            changed.append(qualname)
+
+    edited_sites = set()
+    for qualname in list(changed) + list(removed):
+        method = old_methods.get(qualname)
+        if method is not None:
+            edited_sites |= _method_sites(method)
+    # New site ids introduced by the edit also taint: a changed method's
+    # *new* body may reuse context/heap identities only if the sites
+    # coincide, so fold the new-side sites of changed methods in too.
+    for qualname in changed:
+        edited_sites |= _method_sites(new_methods[qualname])
+
+    return ProgramDelta(
+        changed=tuple(changed),
+        added=added,
+        removed=removed,
+        structural=tuple(structural),
+        edited_sites=frozenset(edited_sites),
+    )

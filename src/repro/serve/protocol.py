@@ -36,11 +36,14 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 from repro.analysis.pipeline import AnalysisRun
+from repro.envknobs import ENV_KNOBS, env_knobs
 from repro.ir.program import Program
 from repro.pta.results import PointsToResult
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "ENV_KNOBS",
+    "env_knobs",
     "BadRequest",
     "ok_body",
     "error_body",
@@ -145,10 +148,21 @@ def program_key(key_material: str) -> str:
     return hashlib.sha256(key_material.encode("utf-8")).hexdigest()[:16]
 
 
-def cache_key(key_material: str, config: str, environment: str = "") -> str:
+def cache_key(key_material: str, config: str,
+              environment: Optional[str] = None) -> str:
     """The resident-result cache key: program content + configuration +
-    the process-default knobs that change results without appearing in
-    the config string (``$REPRO_PTS_BACKEND``, ``$REPRO_SCC``)."""
+    every process-default knob that changes results without appearing
+    in the config string.
+
+    ``environment`` defaults to :func:`repro.envknobs.env_knobs` — the
+    one registry of result-affecting knobs (``$REPRO_PTS_BACKEND``,
+    ``$REPRO_SCC``, ``$REPRO_NUMBERING``, ``$REPRO_INCR``,
+    ``$REPRO_FAULTS``/``_SEED``, and whatever gets added there next) —
+    so no caller can forget to fold a knob in by hand.  Pass an
+    explicit string only to pin a specific environment (tests).
+    """
+    if environment is None:
+        environment = env_knobs()
     return hashlib.sha256(
         f"{key_material}\x00{config}\x00{environment}".encode("utf-8")
     ).hexdigest()
@@ -162,19 +176,26 @@ def result_digest(result: PointsToResult) -> str:
 
     Covers the call graph (edges + reachable set), the field points-to
     relation, and every cast record — the observable output surface of
-    a solve.  Object ids are solver-interned deterministically for a
-    fixed (program, config, backend), so two runs of the same request
-    digest identically; that is the byte-identity the differential
-    tests enforce.
+    a solve.  Objects are spelled as *semantic descriptor tokens*
+    (allocation-site key, heap context, class name) rather than
+    solver-interned ids: interning order depends on fact discovery
+    order, which an incremental warm start legitimately changes, and
+    the byte-identity contract (incremental ≡ cold, served ≡ direct)
+    must hold across that.
     """
+    def token(obj: int) -> str:
+        return (f"{result.object_site_key(obj)!r}"
+                f"|{tuple(result.object_heap_context(obj))!r}"
+                f"|{result.object_class(obj)}")
+
     payload = {
         "call_edges": sorted([site, target]
                              for site, target in result.call_graph_edges()),
         "reachable": sorted(result.reachable_methods()),
-        "field_pts": sorted([src, fld, dst]
+        "field_pts": sorted([token(src), fld, token(dst)]
                             for src, fld, dst in result.field_points_to()),
         "casts": sorted(
-            [site, cls, sorted(objs)]
+            [site, cls, sorted(token(obj) for obj in objs)]
             for site, cls, objs in result.cast_records()
         ),
         "objects": result.object_count,

@@ -94,6 +94,9 @@ class ServiceConfig:
     default_config: str = "M-2obj"
     #: directory for per-request Chrome traces (``trace: true``).
     trace_dir: Optional[str] = None
+    #: directory for the on-disk artifact cache shared across requests
+    #: (pre-analysis/FPG/merge reuse); None = recompute every time.
+    artifact_cache_dir: Optional[str] = None
     #: seed for per-request backoff jitter derivation.
     seed: int = 0
 
@@ -150,14 +153,6 @@ class ResultCache:
                     "evictions": self.evictions}
 
 
-#: process-default knobs that change results without appearing in the
-#: config string; folded into every cache key.
-def _environment_key() -> str:
-    return (f"backend={os.environ.get('REPRO_PTS_BACKEND', '')}"
-            f"|scc={os.environ.get('REPRO_SCC', '')}"
-            f"|numbering={os.environ.get('REPRO_NUMBERING', '')}")
-
-
 class AnalysisService:
     """Transport-agnostic request handling: dicts in, (status, dict) out.
 
@@ -174,6 +169,11 @@ class AnalysisService:
             tenants=config.tenants,
         )
         self.cache = ResultCache(config.cache_size)
+        self.artifacts = None
+        if config.artifact_cache_dir:
+            from repro.incr import ArtifactCache
+
+            self.artifacts = ArtifactCache(config.artifact_cache_dir)
         self.started = time.monotonic()
         self._seq_lock = threading.Lock()
         self._seq = 0
@@ -233,11 +233,14 @@ class AnalysisService:
     def stats(self) -> Dict[str, Any]:
         with self._seq_lock:
             requests = dict(sorted(self._requests.items()))
-        return ok_body(
+        body = ok_body(
             admission=self.admission.snapshot(),
             cache=self.cache.stats(),
             requests=requests,
         )
+        if self.artifacts is not None:
+            body["artifacts"] = self.artifacts.stats()
+        return body
 
     def analyze(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         self._count("analyze")
@@ -300,8 +303,9 @@ class AnalysisService:
         """
         seq = self._next_seq()
         started = time.monotonic()
-        key = protocol.cache_key(request.key_material, request.config,
-                                 _environment_key())
+        # protocol.cache_key folds every result-affecting env knob in by
+        # default (repro.envknobs.env_knobs) — no hand-rolled key here.
+        key = protocol.cache_key(request.key_material, request.config)
         use_cache = request.plan is None and request.cache
         if use_cache:
             cached = self.cache.get(key)
@@ -325,7 +329,7 @@ class AnalysisService:
                 return run_analysis(
                     program, request.config,
                     governor=governor, degrade=request.degrade,
-                    tracer=tracer,
+                    tracer=tracer, artifact_cache=self.artifacts,
                 )
 
         state = RetryState()
@@ -656,6 +660,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--default-config", default="M-2obj")
     parser.add_argument("--trace-dir", default=None,
                         help="write per-request Chrome traces here")
+    parser.add_argument("--artifact-cache-dir", default=None,
+                        help="on-disk artifact cache reused across "
+                             "requests (pre-analysis/FPG/merge)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -678,6 +685,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         allow_request_faults=not args.no_request_faults,
         default_config=args.default_config,
         trace_dir=args.trace_dir,
+        artifact_cache_dir=args.artifact_cache_dir,
         seed=args.seed,
     )
     daemon = ServeDaemon(config)

@@ -1,0 +1,126 @@
+"""Structural diffing between program versions: body edits are
+warm-startable, anything touching dispatch/hierarchy/field shape is
+classified structural and forces a cold solve."""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.incr import (
+    diff_programs,
+    method_fingerprint,
+    perturb_method,
+    pick_editable_method,
+)
+from repro.workloads import corpus_program
+
+BASE_SOURCE = """
+class A { field f: A; method foo() { return this; } }
+class B extends A { method foo() { v = new A(); return v; } }
+main {
+  x = new B();
+  y = x.foo();
+}
+"""
+
+
+def _variant(source: str) -> object:
+    return parse_program(source)
+
+
+class TestClassification:
+    def test_identical_programs_diff_empty(self):
+        delta = diff_programs(_variant(BASE_SOURCE), _variant(BASE_SOURCE))
+        assert delta.is_empty and not delta.is_structural
+        assert delta.edited == ()
+
+    def test_body_edit_is_changed_not_structural(self):
+        old = corpus_program("cache")
+        qualname = pick_editable_method(old, seed=1, exclude_entry=True)
+        new = perturb_method(old, qualname, seed=1)
+        delta = diff_programs(old, new)
+        assert delta.changed == (qualname,)
+        assert not delta.is_structural
+        assert delta.edited == (qualname,)
+
+    def test_method_addition_is_structural(self):
+        new = _variant(BASE_SOURCE.replace(
+            "class A { field f: A; method foo() { return this; } }",
+            "class A { field f: A; method foo() { return this; } "
+            "method bar() { return this; } }"))
+        delta = diff_programs(_variant(BASE_SOURCE), new)
+        assert delta.is_structural
+        assert any("A.bar" in reason for reason in delta.structural)
+
+    def test_method_removal_is_a_body_edit(self):
+        """A vanished method is retractable through its cone (its sites
+        taint), unlike an *added* method, which creates dispatch
+        targets the old constraint graph never recorded."""
+        old = _variant(BASE_SOURCE.replace(
+            "class A { field f: A; method foo() { return this; } }",
+            "class A { field f: A; method foo() { return this; } "
+            "method bar() { return this; } }"))
+        delta = diff_programs(old, _variant(BASE_SOURCE))
+        assert not delta.is_structural
+        assert "A.bar" in delta.removed
+        assert "A.bar" in delta.edited
+
+    def test_hierarchy_edit_is_structural(self):
+        new = _variant(BASE_SOURCE.replace("class B extends A",
+                                           "class B"))
+        delta = diff_programs(_variant(BASE_SOURCE), new)
+        assert delta.is_structural
+        assert any("hierarchy" in reason for reason in delta.structural)
+
+    def test_field_shape_edit_is_structural(self):
+        new = _variant(BASE_SOURCE.replace("field f: A;",
+                                           "field f: A; field g: A;"))
+        delta = diff_programs(_variant(BASE_SOURCE), new)
+        assert delta.is_structural
+        assert any("fields" in reason for reason in delta.structural)
+
+
+class TestEditedSites:
+    def test_edited_sites_span_old_and_new_bodies(self):
+        old = corpus_program("cache")
+        qualname = pick_editable_method(old, seed=2, exclude_entry=True)
+        new = perturb_method(old, qualname, seed=2)
+        delta = diff_programs(old, new)
+        from repro.incr.diff import _method_sites
+
+        old_method = next(m for m in old.all_methods()
+                          if m.qualified_name == qualname)
+        new_method = next(m for m in new.all_methods()
+                          if m.qualified_name == qualname)
+        assert _method_sites(old_method) <= delta.edited_sites
+        assert delta.edited_sites <= (_method_sites(old_method)
+                                      | _method_sites(new_method))
+
+    def test_unedited_program_has_no_sites(self):
+        program = corpus_program("cache")
+        assert diff_programs(program, program).edited_sites == frozenset()
+
+
+class TestFingerprint:
+    def test_fingerprint_stable_across_parses(self):
+        a = {m.qualified_name: method_fingerprint(m)
+             for m in _variant(BASE_SOURCE).all_methods()}
+        b = {m.qualified_name: method_fingerprint(m)
+             for m in _variant(BASE_SOURCE).all_methods()}
+        assert a == b
+
+    def test_fingerprint_sees_site_ids(self):
+        """Two bodies differing only in a cast's site id must not be
+        conflated (``Cast.__str__`` omits the site; ``repr`` keeps
+        it)."""
+        old = corpus_program("downcast_pipeline")
+        for method in old.all_methods():
+            assert method_fingerprint(method) == method_fingerprint(method)
+        qualname = pick_editable_method(old, seed=5, exclude_entry=True)
+        new = perturb_method(old, qualname, seed=5)
+        old_fp = {m.qualified_name: method_fingerprint(m)
+                  for m in old.all_methods()}
+        new_fp = {m.qualified_name: method_fingerprint(m)
+                  for m in new.all_methods()}
+        assert old_fp[qualname] != new_fp[qualname]
+        unchanged = set(old_fp) - {qualname}
+        assert all(old_fp[name] == new_fp[name] for name in unchanged)
